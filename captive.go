@@ -1,0 +1,261 @@
+// Package captive is the public API of Captive-Go, a retargetable
+// system-level dynamic binary translation (DBT) hypervisor reproducing
+// Spink, Wagstaff & Franke, "A Retargetable System-Level DBT Hypervisor"
+// (ACM TOCS 36(4), 2020).
+//
+// A Guest is a full-system virtual machine for the GA64 guest architecture
+// (an AArch64-modelled ISA generated from an ADL description). Three
+// execution engines are available: the Captive engine (host-MMU-backed
+// guest memory, host-FP with bit-accuracy fix-ups, physically-indexed code
+// cache), a QEMU-style baseline (softmmu, helper-call floating point,
+// virtually-indexed cache), and a reference interpreter.
+//
+// Quick start:
+//
+//	p := ga64asm.New(0x1000)
+//	p.MovI(0, 2)
+//	p.MovI(1, 40)
+//	p.Add(0, 0, 1)
+//	p.Hlt(0)
+//	img, _ := p.Assemble()
+//
+//	g, _ := captive.New(captive.Config{})
+//	g.LoadImage(img, 0x1000, 0x1000)
+//	g.Run(0)
+//	fmt.Println(g.Reg(0)) // 42
+package captive
+
+import (
+	"fmt"
+	"time"
+
+	"captive/internal/bench"
+	"captive/internal/core"
+	"captive/internal/guest/ga64"
+	"captive/internal/guest/ga64/asm"
+	"captive/internal/hvm"
+	"captive/internal/interp"
+	"captive/internal/perf"
+	"captive/internal/ssa"
+)
+
+// EngineKind selects the execution engine.
+type EngineKind int
+
+// Engine kinds.
+const (
+	// EngineCaptive is the paper's system: DBT inside a bare-metal host VM.
+	EngineCaptive EngineKind = iota
+	// EngineQEMU is the baseline: softmmu + helper-call FP + VA-indexed cache.
+	EngineQEMU
+	// EngineInterp is the reference interpreter (golden model).
+	EngineInterp
+)
+
+// Config configures a Guest. The zero value is a usable Captive engine with
+// 64 MiB of guest RAM.
+type Config struct {
+	Engine         EngineKind
+	GuestRAMBytes  int  // default 64 MiB
+	CodeCacheBytes int  // default 16 MiB
+	SoftFloat      bool // Captive only: use helper-call FP (§3.6.2 ablation)
+	DisableChain   bool // disable block chaining (Fig. 21 methodology)
+	OptLevel       int  // offline optimization level 1..4 (default 4, §3.6.1)
+}
+
+// Status describes the guest after Run returns.
+type Status struct {
+	Halted   bool
+	ExitCode uint64
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	GuestInstructions uint64
+	HostCycles        float64 // simulated host cycles (3.5 GHz)
+	SimSeconds        float64 // simulated wall-clock seconds
+	MIPS              float64 // guest MIPS at the simulated clock
+	BlocksTranslated  int
+	CodeBytes         int
+	JITTime           time.Duration // real time spent compiling
+}
+
+// Guest is a full-system GA64 virtual machine.
+type Guest struct {
+	cfg    Config
+	engine *core.Engine    // nil for the interpreter
+	interp *interp.Machine // nil for the DBT engines
+}
+
+// New creates a guest machine.
+func New(cfg Config) (*Guest, error) {
+	if cfg.GuestRAMBytes == 0 {
+		cfg.GuestRAMBytes = 64 << 20
+	}
+	if cfg.CodeCacheBytes == 0 {
+		cfg.CodeCacheBytes = 16 << 20
+	}
+	level := ssa.O4
+	if cfg.OptLevel >= 1 && cfg.OptLevel <= 4 {
+		level = ssa.OptLevel(cfg.OptLevel)
+	}
+	module, err := ga64.NewModule(level)
+	if err != nil {
+		return nil, err
+	}
+	g := &Guest{cfg: cfg}
+	if cfg.Engine == EngineInterp {
+		g.interp = interp.New(module, cfg.GuestRAMBytes)
+		return g, nil
+	}
+	vm, err := hvm.New(hvm.Config{
+		GuestRAMBytes:  cfg.GuestRAMBytes,
+		CodeCacheBytes: cfg.CodeCacheBytes,
+		PTPoolBytes:    4 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var e *core.Engine
+	if cfg.Engine == EngineQEMU {
+		e, err = core.NewQEMU(vm, module)
+	} else {
+		e, err = core.New(vm, module)
+		e.SoftFP = cfg.SoftFloat
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.ChainingOff = cfg.DisableChain
+	g.engine = e
+	return g, nil
+}
+
+// LoadImage copies a guest image to guest physical memory and sets the PC.
+func (g *Guest) LoadImage(data []byte, gpa, entry uint64) error {
+	if g.interp != nil {
+		return g.interp.LoadImage(data, gpa, entry)
+	}
+	return g.engine.LoadImage(data, gpa, entry)
+}
+
+// LoadData copies raw bytes into guest physical memory.
+func (g *Guest) LoadData(data []byte, gpa uint64) error {
+	if g.interp != nil {
+		if gpa+uint64(len(data)) > uint64(len(g.interp.Mem)) {
+			return fmt.Errorf("captive: data exceeds guest RAM")
+		}
+		copy(g.interp.Mem[gpa:], data)
+		return nil
+	}
+	return g.engine.LoadUser(data, gpa)
+}
+
+// Run executes the guest until it halts or the budget expires. budget is in
+// simulated host cycles; 0 means a generous default (~100 simulated
+// seconds). For the interpreter the budget is an instruction count.
+func (g *Guest) Run(budget uint64) (Status, error) {
+	if g.interp != nil {
+		if budget == 0 {
+			budget = 4_000_000_000
+		}
+		if _, err := g.interp.Run(budget); err != nil {
+			return Status{}, err
+		}
+		return Status{Halted: g.interp.Halted, ExitCode: g.interp.ExitCode}, nil
+	}
+	if budget == 0 {
+		budget = 3_500_000_000_0 * 100 // deci-cycles for ~100 simulated s
+	} else {
+		budget *= perf.DeciCyclesPerCycle
+	}
+	err := g.engine.Run(budget)
+	halted, code := g.engine.Halted()
+	st := Status{Halted: halted, ExitCode: code}
+	if err != nil && err != core.ErrBudget {
+		return st, err
+	}
+	return st, nil
+}
+
+// Reg reads guest register Xn (0..31; 31 is SP).
+func (g *Guest) Reg(n int) uint64 {
+	if g.interp != nil {
+		return g.interp.Reg(n)
+	}
+	return g.engine.Reg(n)
+}
+
+// SetReg writes guest register Xn.
+func (g *Guest) SetReg(n int, v uint64) {
+	if g.interp != nil {
+		g.interp.SetReg(n, v)
+		return
+	}
+	g.engine.SetReg(n, v)
+}
+
+// FReg reads the low 64 bits of vector register Vn.
+func (g *Guest) FReg(n int) uint64 {
+	if g.interp != nil {
+		return g.interp.FReg(n)
+	}
+	return g.engine.FReg(n)
+}
+
+// PC returns the guest program counter.
+func (g *Guest) PC() uint64 {
+	if g.interp != nil {
+		return g.interp.PC()
+	}
+	return g.engine.PC()
+}
+
+// Console returns everything the guest wrote to its UART.
+func (g *Guest) Console() string {
+	if g.interp != nil {
+		return g.interp.Console()
+	}
+	return g.engine.Console()
+}
+
+// Stats returns run statistics.
+func (g *Guest) Stats() Stats {
+	if g.interp != nil {
+		return Stats{GuestInstructions: g.interp.Instrs}
+	}
+	cycles := float64(g.engine.Cycles()) / perf.DeciCyclesPerCycle
+	secs := perf.Seconds(g.engine.Cycles())
+	st := Stats{
+		GuestInstructions: g.engine.GuestInstrs(),
+		HostCycles:        cycles,
+		SimSeconds:        secs,
+		BlocksTranslated:  g.engine.JIT.Blocks,
+		CodeBytes:         g.engine.JIT.CodeBytes,
+		JITTime: g.engine.JIT.DecodeTime + g.engine.JIT.TranslateT +
+			g.engine.JIT.RegallocT + g.engine.JIT.EncodeT,
+	}
+	if secs > 0 {
+		st.MIPS = float64(st.GuestInstructions) / secs / 1e6
+	}
+	return st
+}
+
+// BuildMiniOSImage pairs the bundled mini guest OS with a user program
+// assembled at MiniOSUserBase: the program runs at EL0 with the mini-OS
+// syscall interface (see MiniOSSys* constants).
+func BuildMiniOSImage(user *asm.Program) (kernel, userImg []byte, entry, userPA uint64, err error) {
+	img, err := bench.BuildSystemImage(user)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	return img.Kernel, img.User, img.Entry, img.UserPA, nil
+}
+
+// Mini-OS ABI re-exports.
+const (
+	MiniOSUserBase   = bench.UserBase
+	MiniOSSysExit    = bench.SysExit
+	MiniOSSysPutchar = bench.SysPutchar
+	MiniOSSysCycles  = bench.SysCycles
+)

@@ -1,0 +1,84 @@
+// Command bench regenerates the tables and figures of the paper's
+// evaluation (§3). With no flags it reproduces everything; individual
+// experiments are selected with -fig/-table/-sec.
+//
+//	bench -fig 17      # SPECint runtimes and speedups
+//	bench -fig 18      # SPECfp speedups
+//	bench -fig 19      # SimBench micro-benchmarks
+//	bench -fig 20      # JIT phase breakdown
+//	bench -fig 21      # per-block code quality (chaining off)
+//	bench -fig 22      # comparison against native platform models
+//	bench -table 2     # FSQRT corner cases
+//	bench -sec 3.4     # JIT statistics
+//	bench -sec 3.6.1   # offline optimization levels
+//	bench -sec 3.6.2   # hardware vs software floating point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"captive/internal/bench"
+	"captive/internal/perf"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (17, 18, 19, 20, 21, 22)")
+	table := flag.Int("table", 0, "table number to regenerate (2)")
+	sec := flag.String("sec", "", "section to regenerate (3.4, 3.6.1, 3.6.2)")
+	flag.Parse()
+
+	all := *fig == 0 && *table == 0 && *sec == ""
+	opt := bench.Options{}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	show := func(t perf.Table, err error) {
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t.String())
+	}
+
+	if all || *fig == 17 {
+		abs, spd, err := bench.Fig17(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(abs.String())
+		fmt.Println(spd.String())
+	}
+	if all || *fig == 18 {
+		show(bench.Fig18(opt))
+	}
+	if all || *fig == 19 {
+		show(bench.Fig19(opt))
+	}
+	if all || *fig == 20 {
+		show(bench.Fig20(opt))
+	}
+	if all || *fig == 21 {
+		r, err := bench.Fig21()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r.Table.String())
+	}
+	if all || *fig == 22 {
+		show(bench.Fig22(opt))
+	}
+	if all || *table == 2 {
+		show(bench.Table2())
+	}
+	if all || *sec == "3.4" {
+		show(bench.Sec34())
+	}
+	if all || *sec == "3.6.1" {
+		show(bench.Sec361())
+	}
+	if all || *sec == "3.6.2" {
+		show(bench.Sec362())
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: assemble a small GA64 guest program, run it under the Captive
+// DBT hypervisor, and inspect registers, console output and run statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"captive"
+	"captive/ga64asm"
+)
+
+func main() {
+	// A bare-metal guest program: compute 21*2 and gcd(1071, 462), print a
+	// banner over the UART, halt.
+	p := ga64asm.New(0x1000)
+
+	p.MovI(10, ga64asm.UARTBase)
+	for _, ch := range "quickstart guest\n" {
+		p.MovI(11, uint64(ch))
+		p.Str32(11, 10, 0)
+	}
+
+	// x0 = 21 * 2
+	p.MovI(0, 21)
+	p.MovI(1, 2)
+	p.Mul(0, 0, 1)
+
+	// x2 = gcd(1071, 462) by repeated remainder.
+	p.MovI(2, 1071)
+	p.MovI(3, 462)
+	p.Label("gcd")
+	p.Cbz(3, "done")
+	p.UDiv(4, 2, 3)    //
+	p.Msub(4, 4, 3, 2) // r = a - (a/b)*b
+	p.Mov(2, 3)
+	p.Mov(3, 4)
+	p.B("gcd")
+	p.Label("done")
+	p.Hlt(0)
+
+	img, err := p.Assemble()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g, err := captive.New(captive.Config{}) // defaults: Captive engine, 64 MiB
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := g.LoadImage(img, 0x1000, 0x1000); err != nil {
+		log.Fatal(err)
+	}
+	status, err := g.Run(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(g.Console())
+	fmt.Printf("halted=%v  21*2=%d  gcd(1071,462)=%d\n", status.Halted, g.Reg(0), g.Reg(2))
+	st := g.Stats()
+	fmt.Printf("%d guest instructions in %d translated blocks (%.1f guest MIPS simulated)\n",
+		st.GuestInstructions, st.BlocksTranslated, st.MIPS)
+}

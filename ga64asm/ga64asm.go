@@ -1,0 +1,64 @@
+// Package ga64asm is the public guest assembler for the GA64 architecture:
+// a thin re-export of the internal builder API so that downstream users of
+// the captive module can write guest programs. See the quickstart example
+// and internal/guest/ga64/asm for the full instruction set.
+package ga64asm
+
+import (
+	"captive/internal/guest/ga64"
+	"captive/internal/guest/ga64/asm"
+)
+
+// Program is the assembly builder (see asm.Program for methods).
+type Program = asm.Program
+
+// Reg is a guest register number.
+type Reg = asm.Reg
+
+// Register aliases.
+const (
+	LR Reg = asm.LR
+	SP Reg = asm.SP
+)
+
+// Condition codes for BCond/Csel (ARM order).
+const (
+	CondEQ = ga64.CondEQ
+	CondNE = ga64.CondNE
+	CondCS = ga64.CondCS
+	CondCC = ga64.CondCC
+	CondMI = ga64.CondMI
+	CondPL = ga64.CondPL
+	CondVS = ga64.CondVS
+	CondVC = ga64.CondVC
+	CondHI = ga64.CondHI
+	CondLS = ga64.CondLS
+	CondGE = ga64.CondGE
+	CondLT = ga64.CondLT
+	CondGT = ga64.CondGT
+	CondLE = ga64.CondLE
+	CondAL = ga64.CondAL
+)
+
+// System registers (for Mrs/Msr).
+const (
+	SysTTBR0  = ga64.SysTTBR0
+	SysTTBR1  = ga64.SysTTBR1
+	SysSCTLR  = ga64.SysSCTLR
+	SysVBAR   = ga64.SysVBAR
+	SysELR    = ga64.SysELR
+	SysSPSR   = ga64.SysSPSR
+	SysESR    = ga64.SysESR
+	SysFAR    = ga64.SysFAR
+	SysTPIDR  = ga64.SysTPIDR
+	SysCNTVCT = ga64.SysCNTVCT
+)
+
+// Memory map constants of the guest platform.
+const (
+	UARTBase   = ga64.UARTBase
+	DeviceBase = ga64.DeviceBase
+)
+
+// New creates a program assembled at the given load address.
+func New(org uint64) *Program { return asm.New(org) }

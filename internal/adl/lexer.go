@@ -1,0 +1,213 @@
+package adl
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Lexer tokenizes ADL source text. It supports //-comments, /* */ comments,
+// decimal, hexadecimal (0x) and binary (0b) integer literals with optional
+// underscores, and the operator set of the behaviour DSL.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	ch := l.src[l.off]
+	l.off++
+	if ch == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return ch
+}
+
+func (l *Lexer) skipSpace() error {
+	for l.off < len(l.src) {
+		switch ch := l.peek(); {
+		case ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n':
+			l.advance()
+		case ch == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case ch == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.off >= len(l.src) {
+					return Errorf(start, "unterminated block comment")
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func isIdentStart(ch byte) bool {
+	return ch == '_' || ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z'
+}
+
+func isIdentCont(ch byte) bool { return isIdentStart(ch) || ch >= '0' && ch <= '9' }
+
+func isDigit(ch byte) bool { return ch >= '0' && ch <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	ch := l.peek()
+	switch {
+	case isIdentStart(ch):
+		start := l.off
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: pos}, nil
+	case isDigit(ch):
+		start := l.off
+		base := 10
+		if ch == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+			base = 16
+			l.advance()
+			l.advance()
+		} else if ch == '0' && (l.peek2() == 'b' || l.peek2() == 'B') {
+			base = 2
+			l.advance()
+			l.advance()
+		}
+		for l.off < len(l.src) {
+			c := l.peek()
+			if isDigit(c) || c == '_' ||
+				base == 16 && (c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+				l.advance()
+				continue
+			}
+			break
+		}
+		text := l.src[start:l.off]
+		digits := strings.ReplaceAll(text, "_", "")
+		if base != 10 {
+			digits = digits[2:]
+		}
+		if digits == "" {
+			return Token{}, Errorf(pos, "malformed number %q", text)
+		}
+		v, err := strconv.ParseUint(digits, base, 64)
+		if err != nil {
+			return Token{}, Errorf(pos, "malformed number %q: %v", text, err)
+		}
+		return Token{Kind: NUMBER, Text: text, Num: v, Pos: pos}, nil
+	}
+	l.advance()
+	two := func(next byte, twoKind, oneKind Kind) Token {
+		if l.peek() == next {
+			l.advance()
+			return Token{Kind: twoKind, Pos: pos}
+		}
+		return Token{Kind: oneKind, Pos: pos}
+	}
+	switch ch {
+	case '{':
+		return Token{Kind: LBRACE, Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBRACE, Pos: pos}, nil
+	case '(':
+		return Token{Kind: LPAREN, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RPAREN, Pos: pos}, nil
+	case '[':
+		return Token{Kind: LBRACKET, Pos: pos}, nil
+	case ']':
+		return Token{Kind: RBRACKET, Pos: pos}, nil
+	case ';':
+		return Token{Kind: SEMI, Pos: pos}, nil
+	case ':':
+		return Token{Kind: COLON, Pos: pos}, nil
+	case ',':
+		return Token{Kind: COMMA, Pos: pos}, nil
+	case '.':
+		return Token{Kind: DOT, Pos: pos}, nil
+	case '+':
+		return Token{Kind: PLUS, Pos: pos}, nil
+	case '-':
+		return Token{Kind: MINUS, Pos: pos}, nil
+	case '*':
+		return Token{Kind: STAR, Pos: pos}, nil
+	case '/':
+		return Token{Kind: SLASH, Pos: pos}, nil
+	case '%':
+		return Token{Kind: PERCENT, Pos: pos}, nil
+	case '^':
+		return Token{Kind: CARET, Pos: pos}, nil
+	case '~':
+		return Token{Kind: TILDE, Pos: pos}, nil
+	case '?':
+		return Token{Kind: QUESTION, Pos: pos}, nil
+	case '&':
+		return two('&', ANDAND, AMP), nil
+	case '|':
+		return two('|', OROR, PIPE), nil
+	case '=':
+		return two('=', EQ, ASSIGN), nil
+	case '!':
+		return two('=', NE, BANG), nil
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return Token{Kind: SHL, Pos: pos}, nil
+		}
+		return two('=', LE, LT), nil
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return Token{Kind: SHR, Pos: pos}, nil
+		}
+		return two('=', GE, GT), nil
+	}
+	return Token{}, Errorf(pos, "unexpected character %q", string(ch))
+}

@@ -1,0 +1,531 @@
+package adl
+
+// Parser is a recursive-descent parser with one token of lookahead and
+// precedence-climbing expression parsing.
+type Parser struct {
+	lex *Lexer
+	tok Token
+}
+
+// Parse parses a complete ADL description.
+func Parse(src string) (*File, error) {
+	p := &Parser{lex: NewLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	f := &File{}
+	for p.tok.Kind != EOF {
+		switch p.tok.Kind {
+		case KwArch:
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			f.Arch = name
+			if err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+		case KwWordsize:
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			n, err := p.expectNumber()
+			if err != nil {
+				return nil, err
+			}
+			f.WordSize = int(n)
+			if err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+		case KwBank:
+			b, err := p.parseBank()
+			if err != nil {
+				return nil, err
+			}
+			f.Banks = append(f.Banks, b)
+		case KwFormat:
+			fm, err := p.parseFormat()
+			if err != nil {
+				return nil, err
+			}
+			f.Formats = append(f.Formats, fm)
+		case KwHelper:
+			h, err := p.parseHelper()
+			if err != nil {
+				return nil, err
+			}
+			f.Helpers = append(f.Helpers, h)
+		case KwInstr:
+			in, err := p.parseInstr()
+			if err != nil {
+				return nil, err
+			}
+			f.Instrs = append(f.Instrs, in)
+		default:
+			return nil, Errorf(p.tok.Pos, "unexpected %s at top level", p.tok.Kind)
+		}
+	}
+	return f, nil
+}
+
+func (p *Parser) next() error {
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) expect(k Kind) error {
+	if p.tok.Kind != k {
+		return Errorf(p.tok.Pos, "expected %s, found %s", k, p.tok.Kind)
+	}
+	return p.next()
+}
+
+func (p *Parser) expectIdent() (string, error) {
+	if p.tok.Kind != IDENT {
+		return "", Errorf(p.tok.Pos, "expected identifier, found %s", p.tok.Kind)
+	}
+	name := p.tok.Text
+	return name, p.next()
+}
+
+func (p *Parser) expectNumber() (uint64, error) {
+	if p.tok.Kind != NUMBER {
+		return 0, Errorf(p.tok.Pos, "expected number, found %s", p.tok.Kind)
+	}
+	n := p.tok.Num
+	return n, p.next()
+}
+
+func (p *Parser) expectType() (TypeName, error) {
+	if !p.tok.Kind.IsType() {
+		return TypeVoid, Errorf(p.tok.Pos, "expected type, found %s", p.tok.Kind)
+	}
+	t := tokenType(p.tok.Kind)
+	return t, p.next()
+}
+
+// bank NAME [N] type ;
+func (p *Parser) parseBank() (*Bank, error) {
+	pos := p.tok.Pos
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(LBRACKET); err != nil {
+		return nil, err
+	}
+	n, err := p.expectNumber()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(RBRACKET); err != nil {
+		return nil, err
+	}
+	ty, err := p.expectType()
+	if err != nil {
+		return nil, err
+	}
+	if ty == TypeVoid || ty == TypeU1 {
+		return nil, Errorf(pos, "bank %s: element type must be u8..u64/s8..s64", name)
+	}
+	if err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &Bank{Name: name, Count: int(n), Type: ty, Pos: pos}, nil
+}
+
+// format NAME { f1:n1 f2:n2 ... }
+func (p *Parser) parseFormat() (*Format, error) {
+	pos := p.tok.Pos
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	fm := &Format{Name: name, Pos: pos}
+	for p.tok.Kind != RBRACE {
+		fname, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(COLON); err != nil {
+			return nil, err
+		}
+		bits, err := p.expectNumber()
+		if err != nil {
+			return nil, err
+		}
+		if bits == 0 || bits > 64 {
+			return nil, Errorf(pos, "format %s: field %s has invalid width %d", name, fname, bits)
+		}
+		fm.Fields = append(fm.Fields, Field{Name: fname, Bits: int(bits)})
+	}
+	if err := p.expect(RBRACE); err != nil {
+		return nil, err
+	}
+	return fm, nil
+}
+
+// helper type NAME ( params ) block
+func (p *Parser) parseHelper() (*Helper, error) {
+	pos := p.tok.Pos
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	res, err := p.expectType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	h := &Helper{Name: name, Result: res, Pos: pos}
+	for p.tok.Kind != RPAREN {
+		if len(h.Params) > 0 {
+			if err := p.expect(COMMA); err != nil {
+				return nil, err
+			}
+		}
+		pt, err := p.expectType()
+		if err != nil {
+			return nil, err
+		}
+		pn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		h.Params = append(h.Params, Param{Type: pt, Name: pn})
+	}
+	if err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	h.Body = body
+	return h, nil
+}
+
+// instr NAME : FORMAT [when expr] block
+func (p *Parser) parseInstr() (*Instr, error) {
+	pos := p.tok.Pos
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(COLON); err != nil {
+		return nil, err
+	}
+	format, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	in := &Instr{Name: name, Format: format, Pos: pos}
+	if p.tok.Kind == KwWhen {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		in.When = cond
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	in.Body = body
+	return in, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	pos := p.tok.Pos
+	if err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: pos}
+	for p.tok.Kind != RBRACE {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, p.next()
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	pos := p.tok.Pos
+	switch {
+	case p.tok.Kind == LBRACE:
+		return p.parseBlock()
+	case p.tok.Kind.IsType():
+		ty, err := p.expectType()
+		if err != nil {
+			return nil, err
+		}
+		if ty == TypeVoid {
+			return nil, Errorf(pos, "variables cannot be void")
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d := &VarDeclStmt{Type: ty, Name: name, Pos: pos}
+		if p.tok.Kind == ASSIGN {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			d.Init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return d, p.expect(SEMI)
+	case p.tok.Kind == KwIf:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Pos: pos}
+		if p.tok.Kind == KwElse {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			st.Else, err = p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	case p.tok.Kind == KwReturn:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		st := &ReturnStmt{Pos: pos}
+		if p.tok.Kind != SEMI {
+			var err error
+			st.Val, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return st, p.expect(SEMI)
+	case p.tok.Kind == IDENT:
+		// Assignment or call statement: decide on the second token.
+		name := p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == ASSIGN {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: name, Val: val, Pos: pos}, p.expect(SEMI)
+		}
+		if p.tok.Kind == LPAREN {
+			call, err := p.parseCall(name, pos)
+			if err != nil {
+				return nil, err
+			}
+			return &ExprStmt{X: call, Pos: pos}, p.expect(SEMI)
+		}
+		return nil, Errorf(p.tok.Pos, "expected '=' or '(' after identifier %q", name)
+	}
+	return nil, Errorf(pos, "unexpected %s in statement", p.tok.Kind)
+}
+
+// Operator precedence, loosest first. The ternary sits above OROR.
+var precedence = map[Kind]int{
+	OROR:   1,
+	ANDAND: 2,
+	PIPE:   3,
+	CARET:  4,
+	AMP:    5,
+	EQ:     6, NE: 6,
+	LT: 7, GT: 7, LE: 7, GE: 7,
+	SHL: 8, SHR: 8,
+	PLUS: 9, MINUS: 9,
+	STAR: 10, SLASH: 10, PERCENT: 10,
+}
+
+func (p *Parser) parseExpr() (Expr, error) {
+	e, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind == QUESTION {
+		pos := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(COLON); err != nil {
+			return nil, err
+		}
+		els, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &CondExpr{Cond: e, Then: then, Else: els, Pos: pos}, nil
+	}
+	return e, nil
+}
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := precedence[p.tok.Kind]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, L: left, R: right, Pos: pos}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case MINUS, TILDE, BANG:
+		op := p.tok.Kind
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op, X: x, Pos: pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case NUMBER:
+		v := p.tok.Num
+		return &NumberExpr{Val: v, Pos: pos}, p.next()
+	case IDENT:
+		name := p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		switch {
+		case name == "inst" && p.tok.Kind == DOT:
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			field, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &FieldExpr{Field: field, Pos: pos}, nil
+		case p.tok.Kind == LPAREN:
+			return p.parseCall(name, pos)
+		default:
+			return &IdentExpr{Name: name, Pos: pos}, nil
+		}
+	case LPAREN:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		// Cast or parenthesized expression.
+		if p.tok.Kind.IsType() {
+			ty, err := p.expectType()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{Type: ty, X: x, Pos: pos}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(RPAREN)
+	}
+	return nil, Errorf(pos, "unexpected %s in expression", p.tok.Kind)
+}
+
+func (p *Parser) parseCall(name string, pos Pos) (Expr, error) {
+	if err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	call := &CallExpr{Name: name, Pos: pos}
+	for p.tok.Kind != RPAREN {
+		if len(call.Args) > 0 {
+			if err := p.expect(COMMA); err != nil {
+				return nil, err
+			}
+		}
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, arg)
+	}
+	return call, p.next()
+}

@@ -1,0 +1,205 @@
+package adl
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleADL = `
+// Minimal test architecture.
+arch test;
+wordsize 64;
+
+bank X    [32] u64;
+bank NZCV [1]  u8;
+
+format R { op:8 rd:5 rn:5 rm:5 sh:6 fn:3 }
+format I { op:8 rd:5 rn:5 imm:14 }
+
+helper u64 add_carry(u64 a, u64 b, u64 cin) {
+	u64 r = a + b + cin;
+	return r;
+}
+
+instr add_reg : R when op == 0x10 {
+	u64 rn = read_gpr(inst.rn);
+	u64 rm = read_gpr(inst.rm) << inst.sh;
+	write_gpr(inst.rd, rn + rm);
+}
+
+instr addi : I when op == 0x11 && rd != 31 {
+	u64 a = read_gpr(inst.rn);
+	if (inst.imm == 0) {
+		write_gpr(inst.rd, a);
+	} else {
+		write_gpr(inst.rd, a + inst.imm);
+	}
+}
+
+instr select : R when op == 0x12 {
+	u64 a = read_gpr(inst.rn);
+	u64 b = read_gpr(inst.rm);
+	write_gpr(inst.rd, a < b ? a : b);
+	u64 x = (u64)(u32)(a * 0xFF_00);
+	x = ~x ^ (b % 3) | (a & 1);
+	write_gpr(0, x);
+}
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := Parse(sampleADL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Arch != "test" || f.WordSize != 64 {
+		t.Errorf("arch=%q wordsize=%d", f.Arch, f.WordSize)
+	}
+	if len(f.Banks) != 2 || f.Bank("X").Count != 32 || f.Bank("X").Type != TypeU64 {
+		t.Errorf("banks parsed wrong: %+v", f.Banks)
+	}
+	if f.Bank("NZCV").Type != TypeU8 {
+		t.Error("NZCV type wrong")
+	}
+	r := f.FormatByName("R")
+	if r == nil || r.TotalBits() != 32 {
+		t.Fatalf("format R: %+v", r)
+	}
+	if r.Field("sh").Bits != 6 || r.Field("nothere") != nil {
+		t.Error("field lookup wrong")
+	}
+	if len(f.Helpers) != 1 || len(f.Helpers[0].Params) != 3 {
+		t.Errorf("helpers: %+v", f.Helpers)
+	}
+	if len(f.Instrs) != 3 {
+		t.Fatalf("instrs: %d", len(f.Instrs))
+	}
+	addi := f.Instrs[1]
+	if addi.Name != "addi" || addi.Format != "I" {
+		t.Errorf("addi: %+v", addi)
+	}
+	// when clause is a conjunction.
+	when, ok := addi.When.(*BinaryExpr)
+	if !ok || when.Op != ANDAND {
+		t.Fatalf("when: %#v", addi.When)
+	}
+	// Body of add_reg: three statements.
+	addReg := f.Instrs[0]
+	if len(addReg.Body.Stmts) != 3 {
+		t.Errorf("add_reg body: %d stmts", len(addReg.Body.Stmts))
+	}
+	decl, ok := addReg.Body.Stmts[0].(*VarDeclStmt)
+	if !ok || decl.Name != "rn" || decl.Type != TypeU64 {
+		t.Errorf("decl: %#v", addReg.Body.Stmts[0])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	src := `arch t; wordsize 64;
+instr i : F {
+	u64 x = 1 + 2 * 3;
+	u64 y = 1 << 2 + 3;
+	u64 z = x == y && x != 0 || y < 2;
+}`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := f.Instrs[0].Body
+	x := body.Stmts[0].(*VarDeclStmt).Init.(*BinaryExpr)
+	if x.Op != PLUS {
+		t.Errorf("1+2*3 root should be +, got %v", x.Op)
+	}
+	if mul, ok := x.R.(*BinaryExpr); !ok || mul.Op != STAR {
+		t.Error("2*3 should bind tighter")
+	}
+	y := body.Stmts[1].(*VarDeclStmt).Init.(*BinaryExpr)
+	if y.Op != SHL {
+		t.Errorf("<< should be root (binds looser than +), got %v", y.Op)
+	}
+	z := body.Stmts[2].(*VarDeclStmt).Init.(*BinaryExpr)
+	if z.Op != OROR {
+		t.Errorf("|| should be root, got %v", z.Op)
+	}
+}
+
+func TestParseCastVsParen(t *testing.T) {
+	src := `arch t; wordsize 64;
+instr i : F {
+	u64 a = (u32) 5;
+	u64 b = (a + 1) * 2;
+	s64 c = (s8) 0xFF;
+}`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := f.Instrs[0].Body
+	if _, ok := body.Stmts[0].(*VarDeclStmt).Init.(*CastExpr); !ok {
+		t.Error("(u32) 5 should parse as a cast")
+	}
+	if _, ok := body.Stmts[1].(*VarDeclStmt).Init.(*BinaryExpr); !ok {
+		t.Error("(a+1)*2 should parse as a binary expression")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src    string
+		substr string
+	}{
+		{"arch ;", "expected identifier"},
+		{"bank X [0x] u64;", "malformed number"},
+		{"format F { a:99 }", "invalid width"},
+		{"instr i : F { u64 x = ; }", "unexpected"},
+		{"instr i : F { void v; }", "void"},
+		{"instr i : F { x + 1; }", "expected '=' or '('"},
+		{"instr i : F { if x { } }", "expected ("},
+		{"bank B [4] u1;", "element type"},
+		{"/* unterminated", "unterminated block comment"},
+		{"instr i : F { u64 x = 1 ? 2 ; }", "expected :"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q, got nil", c.src, c.substr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("Parse(%q): error %q does not contain %q", c.src, err, c.substr)
+		}
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	cases := map[string]uint64{
+		"42":                    42,
+		"0x2A":                  42,
+		"0b101010":              42,
+		"1_000_000":             1000000,
+		"0xFFFF_FFFF_FFFF_FFFF": 0xFFFFFFFFFFFFFFFF,
+	}
+	for src, want := range cases {
+		l := NewLexer(src)
+		tok, err := l.Next()
+		if err != nil {
+			t.Errorf("lex %q: %v", src, err)
+			continue
+		}
+		if tok.Kind != NUMBER || tok.Num != want {
+			t.Errorf("lex %q = %v/%d, want %d", src, tok.Kind, tok.Num, want)
+		}
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	l := NewLexer("a // line\n /* block\nblock */ b")
+	t1, _ := l.Next()
+	t2, _ := l.Next()
+	t3, _ := l.Next()
+	if t1.Text != "a" || t2.Text != "b" || t3.Kind != EOF {
+		t.Errorf("comment skipping wrong: %v %v %v", t1, t2, t3)
+	}
+	if t2.Pos.Line != 3 {
+		t.Errorf("line tracking wrong: %v", t2.Pos)
+	}
+}

@@ -1,0 +1,138 @@
+// Package adl implements the architecture description language (ADL) from
+// which Captive's guest-specific modules are generated (§2.2.1 of the
+// paper). The language is modelled on a modified ArchC: register banks,
+// instruction formats as bit-field layouts, decode constraints, and
+// instruction semantics in a C-like behaviour DSL.
+//
+// This package is syntax only: lexer, AST, parser. Semantic analysis and
+// lowering into the domain-specific SSA of §2.2.2 live in internal/ssa.
+package adl
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+	// Punctuation and operators.
+	LBRACE
+	RBRACE
+	LPAREN
+	RPAREN
+	LBRACKET
+	RBRACKET
+	SEMI
+	COLON
+	COMMA
+	DOT
+	ASSIGN
+	PLUS
+	MINUS
+	STAR
+	SLASH
+	PERCENT
+	AMP
+	PIPE
+	CARET
+	TILDE
+	BANG
+	QUESTION
+	SHL
+	SHR
+	EQ
+	NE
+	LT
+	GT
+	LE
+	GE
+	ANDAND
+	OROR
+	// Keywords.
+	KwArch
+	KwWordsize
+	KwBank
+	KwFormat
+	KwInstr
+	KwHelper
+	KwWhen
+	KwIf
+	KwElse
+	KwReturn
+	KwVoid
+	// Type keywords.
+	KwU1
+	KwU8
+	KwU16
+	KwU32
+	KwU64
+	KwS8
+	KwS16
+	KwS32
+	KwS64
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", NUMBER: "number",
+	LBRACE: "{", RBRACE: "}", LPAREN: "(", RPAREN: ")",
+	LBRACKET: "[", RBRACKET: "]", SEMI: ";", COLON: ":", COMMA: ",", DOT: ".",
+	ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	AMP: "&", PIPE: "|", CARET: "^", TILDE: "~", BANG: "!", QUESTION: "?",
+	SHL: "<<", SHR: ">>", EQ: "==", NE: "!=", LT: "<", GT: ">", LE: "<=", GE: ">=",
+	ANDAND: "&&", OROR: "||",
+	KwArch: "arch", KwWordsize: "wordsize", KwBank: "bank", KwFormat: "format",
+	KwInstr: "instr", KwHelper: "helper", KwWhen: "when",
+	KwIf: "if", KwElse: "else", KwReturn: "return", KwVoid: "void",
+	KwU1: "u1", KwU8: "u8", KwU16: "u16", KwU32: "u32", KwU64: "u64",
+	KwS8: "s8", KwS16: "s16", KwS32: "s32", KwS64: "s64",
+}
+
+// String returns a human-readable token kind name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"arch": KwArch, "wordsize": KwWordsize, "bank": KwBank, "format": KwFormat,
+	"instr": KwInstr, "helper": KwHelper, "when": KwWhen,
+	"if": KwIf, "else": KwElse, "return": KwReturn, "void": KwVoid,
+	"u1": KwU1, "u8": KwU8, "u16": KwU16, "u32": KwU32, "u64": KwU64,
+	"s8": KwS8, "s16": KwS16, "s32": KwS32, "s64": KwS64,
+}
+
+// IsType reports whether the kind is a type keyword (including void).
+func (k Kind) IsType() bool { return k == KwVoid || (k >= KwU1 && k <= KwS64) }
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token.
+type Token struct {
+	Kind Kind
+	Text string
+	Num  uint64 // value for NUMBER
+	Pos  Pos
+}
+
+// Error is a syntax or semantic error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("adl: %s: %s", e.Pos, e.Msg) }
+
+// Errorf constructs a positioned error.
+func Errorf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"captive/internal/core"
+	"captive/internal/gen"
+	"captive/internal/guest/ga64"
+	"captive/internal/hvm"
+	"captive/internal/interp"
+	"captive/internal/perf"
+)
+
+// EngineKind selects an execution engine for a harness run.
+type EngineKind int
+
+// Engine kinds.
+const (
+	EngineCaptive EngineKind = iota
+	EngineQEMU
+	EngineCaptiveSoftFP // §3.6.2 ablation
+	EngineInterp
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case EngineCaptive:
+		return "captive"
+	case EngineQEMU:
+		return "qemu"
+	case EngineCaptiveSoftFP:
+		return "captive-softfp"
+	default:
+		return "interp"
+	}
+}
+
+// Result is the outcome of one workload run.
+type Result struct {
+	Workload    string
+	Engine      EngineKind
+	Cycles      uint64 // deci-cycles of simulated host time
+	GuestInstrs uint64
+	Seconds     float64 // simulated wall-clock (cycles @ 3.5 GHz)
+	Checksum    uint64  // guest X1 at exit (cross-engine validation)
+	ExitCode    uint64
+	Wall        time.Duration // real time spent simulating
+	JIT         core.JITStats
+	Engine2     core.Stats
+	Console     string
+}
+
+// Options tunes a harness run.
+type Options struct {
+	ChainingOff bool
+	RAMBytes    int
+	Budget      uint64 // deci-cycles; 0 = default
+}
+
+func (o Options) ram() int {
+	if o.RAMBytes == 0 {
+		return 64 << 20
+	}
+	return o.RAMBytes
+}
+
+func (o Options) budget() uint64 {
+	if o.Budget == 0 {
+		return 600_000_000_000 // 60 simulated seconds
+	}
+	return o.Budget
+}
+
+// module returns the shared O4 GA64 module.
+func module() *gen.Module { return ga64.MustModule() }
+
+// newEngine builds an engine of the requested kind.
+func newEngine(kind EngineKind, opt Options) (*core.Engine, error) {
+	vm, err := hvm.New(hvm.Config{
+		GuestRAMBytes:  opt.ram(),
+		CodeCacheBytes: 32 << 20,
+		PTPoolBytes:    4 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var e *core.Engine
+	switch kind {
+	case EngineQEMU:
+		e, err = core.NewQEMU(vm, module())
+	default:
+		e, err = core.New(vm, module())
+		if kind == EngineCaptiveSoftFP {
+			e.SoftFP = true
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.ChainingOff = opt.ChainingOff
+	return e, nil
+}
+
+// RunImage executes a guest image on the chosen engine.
+func RunImage(kind EngineKind, img Image, name string, opt Options) (Result, error) {
+	res := Result{Workload: name, Engine: kind}
+	start := time.Now()
+	if kind == EngineInterp {
+		m := interp.New(module(), opt.ram())
+		if err := m.LoadImage(img.Kernel, KernelBase, img.Entry); err != nil {
+			return res, err
+		}
+		if img.User != nil {
+			copy(m.Mem[img.UserPA:], img.User)
+		}
+		if _, err := m.Run(2_000_000_000); err != nil {
+			return res, fmt.Errorf("bench %s/interp: %w", name, err)
+		}
+		res.GuestInstrs = m.Instrs
+		res.Checksum = m.Reg(1)
+		res.ExitCode = m.ExitCode
+		res.Console = m.Console()
+		res.Wall = time.Since(start)
+		return res, nil
+	}
+	e, err := newEngine(kind, opt)
+	if err != nil {
+		return res, err
+	}
+	if err := e.LoadImage(img.Kernel, KernelBase, img.Entry); err != nil {
+		return res, err
+	}
+	if img.User != nil {
+		if err := e.LoadUser(img.User, img.UserPA); err != nil {
+			return res, err
+		}
+	}
+	if err := e.Run(opt.budget()); err != nil {
+		return res, fmt.Errorf("bench %s/%s: %w (pc=%#x)", name, kind, err, e.PC())
+	}
+	halted, code := e.Halted()
+	if !halted {
+		return res, fmt.Errorf("bench %s/%s: did not halt", name, kind)
+	}
+	res.Cycles = e.Cycles()
+	res.Seconds = perf.Seconds(res.Cycles)
+	res.GuestInstrs = e.GuestInstrs()
+	res.Checksum = e.Reg(1)
+	res.ExitCode = code
+	res.Wall = time.Since(start)
+	res.JIT = e.JIT
+	res.Engine2 = e.Stats
+	res.Console = e.Console()
+	return res, nil
+}
+
+// RunWorkload builds and executes a SPEC-shaped workload under the mini-OS.
+func RunWorkload(kind EngineKind, w Workload, opt Options) (Result, error) {
+	img, err := BuildSystemImage(w.Build())
+	if err != nil {
+		return Result{}, err
+	}
+	return RunImage(kind, img, w.Name, opt)
+}
+
+// RunMicro builds and executes a SimBench micro-benchmark (bare metal).
+func RunMicro(kind EngineKind, m Micro, opt Options) (Result, error) {
+	img, err := BareMetal(m.Build())
+	if err != nil {
+		return Result{}, err
+	}
+	return RunImage(kind, img, m.Name, opt)
+}
+
+// Compare runs a workload on Captive and the QEMU baseline, validates the
+// checksums agree, and returns both results.
+func Compare(w Workload, opt Options) (captive, qemu Result, err error) {
+	captive, err = RunWorkload(EngineCaptive, w, opt)
+	if err != nil {
+		return
+	}
+	qemu, err = RunWorkload(EngineQEMU, w, opt)
+	if err != nil {
+		return
+	}
+	if captive.Checksum != qemu.Checksum || captive.ExitCode != qemu.ExitCode {
+		err = fmt.Errorf("bench %s: engines disagree: captive chk=%#x exit=%d, qemu chk=%#x exit=%d",
+			w.Name, captive.Checksum, captive.ExitCode, qemu.Checksum, qemu.ExitCode)
+	}
+	return
+}

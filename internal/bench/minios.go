@@ -1,0 +1,226 @@
+// Package bench contains the workload infrastructure for the paper's
+// evaluation: a miniature guest operating system standing in for the ARM
+// Linux environment of §3.1, the SPEC-CPU2006-shaped application kernels of
+// §3.2 (Figs. 17–18), the SimBench micro-benchmark suite of §3.5 (Fig. 19),
+// and the harness that runs workloads across execution engines and collects
+// the statistics each figure reports.
+package bench
+
+import (
+	"fmt"
+
+	"captive/internal/guest/ga64"
+	"captive/internal/guest/ga64/asm"
+)
+
+// Guest memory layout for mini-OS workloads.
+const (
+	KernelBase = 0x1000             // kernel load PA / identity VA
+	KernRoot   = 0x200000           // TTBR0 page-table root
+	Kern1Root  = 0x208000           // TTBR1 page-table root
+	KernL2     = 0x201000           // shared L2 table
+	KernL1     = 0x202000           // shared L1 table (2 MiB block entries)
+	KernStack  = 0x1F0000           // kernel stack top (low alias)
+	UserBase   = 0x400000           // user program load PA / VA
+	UserStack  = 0x7F0000           // user stack top
+	HighBase   = 0xFFFF800000000000 // kernel high-half alias (TTBR1)
+)
+
+// Syscall numbers (SVC immediates).
+const (
+	SysExit    = 0 // x0 = exit code
+	SysPutchar = 1 // x0 = byte
+	SysCycles  = 2 // returns CNTVCT in x0
+	SysYield   = 3 // no-op
+)
+
+// BuildKernel assembles the mini-OS kernel image (loaded at KernelBase,
+// entered at KernelBase with the MMU off at EL1). It:
+//
+//  1. installs the exception vector table (high-half addresses),
+//  2. builds identity page tables for the low 16 MiB (user-accessible,
+//     2 MiB blocks) plus the device window, aliased into the high half via
+//     TTBR1 — the split Linux uses, which exercises Captive's dual-root
+//     PCID path (§2.7.5) on every syscall,
+//  3. enables the MMU and continues executing at the high alias,
+//  4. drops to EL0 at UserBase.
+//
+// Syscalls (SVC from EL0) are handled at the high-half vector: putchar
+// writes the UART through the high device alias, exit halts the machine
+// with the user's x0 preserved.
+func BuildKernel() ([]byte, error) {
+	p := asm.New(KernelBase)
+
+	// --- boot (identity, MMU off) ---
+	p.MovI(asm.SP, KernStack)
+
+	// TTBR0 root[0] -> L2; L2[0] -> L1.
+	pte := uint64(ga64.PTEValid | ga64.PTEWrite | ga64.PTEUser)
+	p.MovI(0, KernRoot)
+	p.MovI(1, KernL2|pte)
+	p.Str(1, 0, 0)
+	p.MovI(0, KernL2)
+	p.MovI(1, KernL1|pte)
+	p.Str(1, 0, 0)
+	// L1[0..7]: identity 2 MiB blocks covering 16 MiB, user RW.
+	p.MovI(0, KernL1)
+	p.MovI(1, pte|ga64.PTELarge) // block at PA 0
+	p.MovI(2, 8)                 // count
+	p.MovI(3, 0x200000)          // block size
+	p.Label("ptloop")
+	p.Str(1, 0, 0)
+	p.Add(1, 1, 3)
+	p.AddI(0, 0, 8)
+	p.SubsI(2, 2, 1)
+	p.BCond(ga64.CondNE, "ptloop")
+	// Device window: L1[128] -> 2 MiB block at DeviceBase (kernel-only).
+	p.MovI(0, KernL1+128*8)
+	p.MovI(1, uint64(ga64.DeviceBase)|uint64(ga64.PTEValid|ga64.PTEWrite)|ga64.PTELarge)
+	p.Str(1, 0, 0)
+	// TTBR1 root[256] -> same L2 (high alias of everything).
+	p.MovI(0, Kern1Root+256*8)
+	p.MovI(1, KernL2|pte)
+	p.Str(1, 0, 0)
+
+	// Vector base: high alias of the "vectors" label.
+	p.Adr(0, "vectors")
+	p.MovI(1, HighBase)
+	p.Add(0, 0, 1)
+	p.Msr(ga64.SysVBAR, 0)
+
+	// Load translation bases and switch the MMU on.
+	p.MovI(0, KernRoot)
+	p.Msr(ga64.SysTTBR0, 0)
+	p.MovI(0, Kern1Root)
+	p.Msr(ga64.SysTTBR1, 0)
+	p.MovI(0, ga64.SCTLRMmuEnable)
+	p.Msr(ga64.SysSCTLR, 0)
+
+	// Jump to the high alias.
+	p.Adr(0, "high")
+	p.MovI(1, HighBase)
+	p.Add(0, 0, 1)
+	p.Br(0)
+
+	p.Label("high")
+	p.MovI(asm.SP, HighBase+KernStack)
+	// Enter the user program at EL0.
+	p.MovI(0, UserBase)
+	p.Msr(ga64.SysELR, 0)
+	p.MovI(0, 0) // SPSR: EL0, flags clear
+	p.Msr(ga64.SysSPSR, 0)
+	p.MovI(asm.SP, UserStack) // user stack (X31 is shared; EL0 starts here)
+	p.Eret()
+
+	// --- exception vectors ---
+	// The table must sit at a 0x200-aligned address; each entry is 0x80
+	// bytes apart.
+	p.AlignTo(0x200)
+	p.Label("vectors")
+	// +0x000: synchronous from EL1 — kernel bug; halt loudly.
+	p.Hlt(0x3FFF)
+	p.AlignTo(0x80)
+	// +0x080: IRQ from EL1 — unused.
+	p.Hlt(0x3FFE)
+	p.AlignTo(0x100)
+	// +0x100: synchronous from EL0 — syscalls and user faults.
+	p.B("sync_el0")
+	p.AlignTo(0x180)
+	// +0x180: IRQ from EL0 — unused.
+	p.Hlt(0x3FFD)
+
+	p.Label("sync_el0")
+	// Save the user's SP and switch to the kernel stack: TPIDR is the
+	// scratch register the mini-OS claims for itself.
+	p.Msr(ga64.SysTPIDR, asm.SP)
+	p.MovI(asm.SP, HighBase+KernStack)
+	p.SubI(asm.SP, asm.SP, 64)
+	p.Stp(10, 11, asm.SP, 0)
+	p.Stp(12, asm.LR, asm.SP, 2)
+
+	p.Mrs(10, ga64.SysESR)
+	p.Lsr(11, 10, 26) // EC
+	p.CmpI(11, ga64.ECSVC)
+	p.BCond(ga64.CondNE, "userfault")
+	p.MovI(11, 0xFFFF)
+	p.And(10, 10, 11) // ISS = syscall number
+
+	p.CmpI(10, SysExit)
+	p.BCond(ga64.CondEQ, "sys_exit")
+	p.CmpI(10, SysPutchar)
+	p.BCond(ga64.CondEQ, "sys_putchar")
+	p.CmpI(10, SysCycles)
+	p.BCond(ga64.CondEQ, "sys_cycles")
+	p.CmpI(10, SysYield)
+	p.BCond(ga64.CondEQ, "sysdone")
+	p.Hlt(0x3FFC) // unknown syscall
+
+	p.Label("sys_exit")
+	// Exit code stays in X0 for the harness; halt the machine.
+	p.Hlt(1)
+
+	p.Label("sys_putchar")
+	p.MovI(10, HighBase+uint64(ga64.UARTBase))
+	p.Str32(0, 10, 0)
+	p.B("sysdone")
+
+	p.Label("sys_cycles")
+	p.Mrs(0, ga64.SysCNTVCT)
+	p.B("sysdone")
+
+	p.Label("sysdone")
+	p.Ldp(10, 11, asm.SP, 0)
+	p.Ldp(12, asm.LR, asm.SP, 2)
+	p.AddI(asm.SP, asm.SP, 64)
+	p.Mrs(asm.SP, ga64.SysTPIDR) // restore user SP
+	p.Eret()
+
+	p.Label("userfault")
+	// A genuine user fault: record FAR in X1 and end the run.
+	p.Mrs(1, ga64.SysFAR)
+	p.Hlt(0x3FF0)
+
+	return p.Assemble()
+}
+
+// UserProgram wraps a user-mode workload body: the body runs at EL0 from
+// UserBase; it must end with Exit (svc #0).
+func UserProgram() *asm.Program {
+	return asm.New(UserBase)
+}
+
+// EmitExit emits the exit syscall (x0 = code register preserved).
+func EmitExit(p *asm.Program) { p.Svc(SysExit) }
+
+// EmitPutchar emits a putchar syscall of the byte in x0.
+func EmitPutchar(p *asm.Program) { p.Svc(SysPutchar) }
+
+// Image is a loadable guest memory image.
+type Image struct {
+	Kernel []byte
+	User   []byte // may be nil for bare-metal images
+	Entry  uint64
+	UserPA uint64
+}
+
+// BuildSystemImage pairs the mini-OS kernel with a user program.
+func BuildSystemImage(user *asm.Program) (Image, error) {
+	kern, err := BuildKernel()
+	if err != nil {
+		return Image{}, fmt.Errorf("bench: kernel: %w", err)
+	}
+	uimg, err := user.Assemble()
+	if err != nil {
+		return Image{}, fmt.Errorf("bench: user program: %w", err)
+	}
+	return Image{Kernel: kern, User: uimg, Entry: KernelBase, UserPA: UserBase}, nil
+}
+
+// BareMetal wraps a self-contained EL1 program (SimBench style).
+func BareMetal(p *asm.Program) (Image, error) {
+	img, err := p.Assemble()
+	if err != nil {
+		return Image{}, err
+	}
+	return Image{Kernel: img, Entry: p.Org()}, nil
+}

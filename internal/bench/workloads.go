@@ -1,0 +1,821 @@
+package bench
+
+import (
+	"captive/internal/guest/ga64"
+	"captive/internal/guest/ga64/asm"
+)
+
+// The SPEC CPU2006 stand-ins (§3.2, DESIGN.md §1). Each kernel is a guest
+// user program whose instruction mix mimics the dominant behaviour of its
+// namesake: pointer chasing for 429.mcf, dynamic-programming recurrences for
+// 456.hmmer, bitboards for 458.sjeng, stencils for 470.lbm, and so on. All
+// run at EL0 under the mini-OS, leave a checksum in X1 and exit via SVC.
+//
+// Scale factors are chosen so each benchmark retires a few million guest
+// instructions — enough to amortize translation and expose steady-state
+// behaviour, small enough to keep the full matrix quick.
+
+// Workload describes one benchmark program.
+type Workload struct {
+	Name  string
+	Float bool
+	Build func() *asm.Program
+}
+
+// register convention inside workloads:
+//
+//	x0  syscall argument / exit code
+//	x1  checksum accumulator (validated across engines)
+//	x19+ kernel-local state
+const (
+	rChk = 1
+)
+
+// Integer returns the 12 SPECint-shaped kernels in the paper's Fig. 17
+// order.
+func Integer() []Workload {
+	return []Workload{
+		{"400.perlbench", false, perlbench},
+		{"401.bzip2", false, bzip2},
+		{"403.gcc", false, gcc},
+		{"429.mcf", false, mcf},
+		{"445.gobmk", false, gobmk},
+		{"456.hmmer", false, hmmer},
+		{"458.sjeng", false, sjeng},
+		{"462.libquantum", false, libquantum},
+		{"464.h264ref", false, h264ref},
+		{"471.omnetpp", false, omnetpp},
+		{"473.astar", false, astar},
+		{"483.xalancbmk", false, xalancbmk},
+	}
+}
+
+// Float returns the 5 C/C++ SPECfp-shaped kernels of Fig. 18.
+func Float() []Workload {
+	return []Workload{
+		{"482.sphinx3", true, sphinx3},
+		{"433.milc", true, milc},
+		{"435.gromacs", true, gromacs},
+		{"444.namd", true, namd},
+		{"470.lbm", true, lbm},
+	}
+}
+
+// All returns every workload.
+func All() []Workload { return append(Integer(), Float()...) }
+
+// ByName finds a workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// exit emits checksum preservation and the exit syscall.
+func exit(p *asm.Program) {
+	p.MovI(0, 0) // exit code 0
+	p.Svc(SysExit)
+}
+
+const heap = 0x500000 // user scratch heap
+
+// perlbench: string hashing and hash-table probing (interpreter-style
+// pointer+byte work).
+func perlbench() *asm.Program {
+	p := UserProgram()
+	p.MovI(rChk, 0)
+	p.MovI(19, heap)         // table: 4096 buckets x 8
+	p.MovI(23, heap+0x40000) // string pool
+	p.MovI(20, 0x611C9DC5)
+	// Fill the string pool (the "keys" the interpreter hashes).
+	p.MovI(2, 8192)
+	p.MovI(3, 0x9E3779B9)
+	p.Label("fillpool")
+	p.Mul(3, 3, 3)
+	p.AddI(3, 3, 0x61)
+	p.Lsr(4, 3, 13)
+	p.SubI(2, 2, 1)
+	p.StrbR(4, 23, 2, 0)
+	p.Cbnz(2, "fillpool")
+	p.MovI(2, 70000) // outer iterations
+	p.Label("outer")
+	// hash = FNV over a 16-byte key read from the pool (memory bound,
+	// like real perl hashing).
+	p.Mov(3, 20) // h
+	p.MovI(7, 8192-17)
+	p.And(7, 2, 7) // key offset
+	p.Add(7, 7, 23)
+	p.MovI(5, 16)
+	p.Label("hash")
+	p.Ldrb(6, 7, 0)
+	p.AddI(7, 7, 1)
+	p.Eor(3, 3, 6)
+	p.MovI(6, 0x01000193)
+	p.Mul(3, 3, 6)
+	p.SubsI(5, 5, 1)
+	p.BCond(ga64.CondNE, "hash")
+	// bucket = h & 4095; probe and insert
+	p.MovI(6, 4095)
+	p.And(6, 3, 6)
+	p.LdrR(7, 19, 6, 3) // table[bucket]
+	p.Cbnz(7, "hit")
+	p.StrR(3, 19, 6, 3) // insert
+	p.B("cont")
+	p.Label("hit")
+	p.Eor(rChk, rChk, 7)
+	p.Label("cont")
+	p.Add(rChk, rChk, 3)
+	p.SubsI(2, 2, 1)
+	p.BCond(ga64.CondNE, "outer")
+	exit(p)
+	return p
+}
+
+// bzip2: run-length-ish byte shuffling and histogramming.
+func bzip2() *asm.Program {
+	p := UserProgram()
+	const n = 1 << 16
+	p.MovI(rChk, 0)
+	p.MovI(19, heap)   // src buffer
+	p.MovI(20, heap+n) // histogram
+	// Fill src with a PRNG pattern.
+	p.MovI(2, n)
+	p.MovI(3, 12345)
+	p.Label("fill")
+	p.MovI(4, 1103515245)
+	p.Mul(3, 3, 4)
+	p.AddI(3, 3, 12345)
+	p.Lsr(4, 3, 16)
+	p.SubI(2, 2, 1)
+	p.StrbR(4, 19, 2, 0)
+	p.Cbnz(2, "fill")
+	// Multiple passes: histogram + prefix transform.
+	p.MovI(5, 14) // passes
+	p.Label("pass")
+	p.MovI(2, 0)
+	p.MovI(6, n)
+	p.Label("scan")
+	p.LdrbR(4, 19, 2, 0) // b = src[i]
+	p.LdrR(7, 20, 4, 3)  // hist[b]++
+	p.AddI(7, 7, 1)
+	p.StrR(7, 20, 4, 3)
+	p.Add(rChk, rChk, 4)
+	p.AddI(2, 2, 1)
+	p.Cmp(2, 6)
+	p.BCond(ga64.CondNE, "scan")
+	p.SubsI(5, 5, 1)
+	p.BCond(ga64.CondNE, "pass")
+	exit(p)
+	return p
+}
+
+// gcc: branchy linked-structure transformation.
+func gcc() *asm.Program {
+	p := UserProgram()
+	const nodes = 8192 // 32-byte nodes: {next, kind, val, pad}
+	p.MovI(rChk, 0)
+	p.MovI(19, heap)
+	// Build a ring of nodes with varying "kinds".
+	p.MovI(2, 0)
+	p.Label("build")
+	p.Lsl(3, 2, 5) // offset
+	p.Add(3, 3, 19)
+	p.AddI(4, 2, 1)
+	p.MovI(5, nodes)
+	p.UDiv(6, 4, 5)
+	p.Msub(4, 6, 5, 4) // (i+1) % nodes
+	p.Lsl(4, 4, 5)
+	p.Add(4, 4, 19)
+	p.Str(4, 3, 0) // next
+	p.MovI(5, 7)
+	p.And(5, 2, 5)
+	p.Str(5, 3, 8)  // kind = i & 7
+	p.Str(2, 3, 16) // val = i
+	p.AddI(2, 2, 1)
+	p.CmpI(2, nodes)
+	p.BCond(ga64.CondNE, "build")
+	// Walk with kind-dependent transforms.
+	p.MovI(2, 450000) // steps
+	p.Mov(3, 19)      // cur
+	p.Label("walk")
+	p.Ldr(4, 3, 8)  // kind
+	p.Ldr(5, 3, 16) // val
+	p.CmpI(4, 3)
+	p.BCond(ga64.CondCC, "lowkind") // kind < 3
+	p.CmpI(4, 6)
+	p.BCond(ga64.CondCC, "midkind")
+	p.Eor(5, 5, 2)
+	p.B("storeback")
+	p.Label("lowkind")
+	p.Add(5, 5, 4)
+	p.B("storeback")
+	p.Label("midkind")
+	p.Lsl(5, 5, 1)
+	p.Label("storeback")
+	p.Str(5, 3, 16)
+	p.Add(rChk, rChk, 5)
+	p.Ldr(3, 3, 0) // next
+	p.SubsI(2, 2, 1)
+	p.BCond(ga64.CondNE, "walk")
+	exit(p)
+	return p
+}
+
+// mcf: pointer chasing over a pseudo-random permutation (memory-latency
+// bound, the paper's Fig. 21 subject).
+func mcf() *asm.Program {
+	p := UserProgram()
+	const n = 1 << 15 // 32k nodes x 16 bytes: {next, cost}
+	p.MovI(rChk, 0)
+	p.MovI(19, heap)
+	// next[i] = (i*a+c) % n (a co-prime with n => a permutation)
+	p.MovI(2, 0)
+	p.Label("build")
+	p.MovI(3, 40503)
+	p.Mul(3, 2, 3)
+	p.AddI(3, 3, 1)
+	p.MovI(4, n-1)
+	p.And(3, 3, 4) // target index
+	p.Lsl(3, 3, 4)
+	p.Add(3, 3, 19)
+	p.Lsl(4, 2, 4)
+	p.Add(4, 4, 19)
+	p.Str(3, 4, 0) // node[i].next = &node[target]
+	p.Str(2, 4, 8) // node[i].cost = i
+	p.AddI(2, 2, 1)
+	p.MovI(22, n)
+	p.Cmp(2, 22)
+	p.BCond(ga64.CondNE, "build")
+	// Chase.
+	p.MovI(2, 900000)
+	p.Mov(3, 19)
+	p.Label("chase")
+	p.Ldr(4, 3, 8)
+	p.Add(rChk, rChk, 4)
+	p.Ldr(3, 3, 0)
+	p.SubsI(2, 2, 1)
+	p.BCond(ga64.CondNE, "chase")
+	exit(p)
+	return p
+}
+
+// gobmk: 2D board scanning with pattern tests (branch heavy).
+func gobmk() *asm.Program {
+	p := UserProgram()
+	const size = 19
+	p.MovI(rChk, 0)
+	p.MovI(19, heap)
+	// Seed the board.
+	p.MovI(2, size*size)
+	p.MovI(3, 0xACE1)
+	p.Label("seed")
+	p.MovI(4, 0x3)
+	p.And(5, 3, 4)
+	p.SubI(2, 2, 1)
+	p.StrbR(5, 19, 2, 0)
+	p.Lsr(4, 3, 1)
+	p.MovI(6, 0xB400)
+	p.AndI(7, 3, 1)
+	p.Cbz(7, "noxor")
+	p.Eor(4, 4, 6)
+	p.Label("noxor")
+	p.Mov(3, 4)
+	p.Cbnz(2, "seed")
+	// Pattern scans.
+	p.MovI(20, 1500) // sweeps
+	p.Label("sweep")
+	p.MovI(2, size*(size-1)-1)
+	p.Label("cell")
+	p.LdrbR(4, 19, 2, 0)
+	p.AddI(5, 2, 1)
+	p.LdrbR(5, 19, 5, 0)
+	p.AddI(6, 2, size)
+	p.LdrbR(6, 19, 6, 0)
+	// if left==right && left!=down: chk++ else if down==left: chk+=2
+	p.Cmp(4, 5)
+	p.BCond(ga64.CondNE, "try2")
+	p.Cmp(4, 6)
+	p.BCond(ga64.CondEQ, "try2")
+	p.AddI(rChk, rChk, 1)
+	p.B("cellnext")
+	p.Label("try2")
+	p.Cmp(6, 4)
+	p.BCond(ga64.CondNE, "cellnext")
+	p.AddI(rChk, rChk, 2)
+	p.Label("cellnext")
+	p.SubsI(2, 2, 1)
+	p.BCond(ga64.CondNE, "cell")
+	p.SubsI(20, 20, 1)
+	p.BCond(ga64.CondNE, "sweep")
+	exit(p)
+	return p
+}
+
+// hmmer: Viterbi-style dynamic programming recurrence (register pressure,
+// few branches).
+func hmmer() *asm.Program {
+	p := UserProgram()
+	const cols = 512
+	p.MovI(rChk, 0)
+	p.MovI(19, heap)        // M row
+	p.MovI(20, heap+cols*8) // I row
+	p.MovI(21, heap+2*cols*8)
+	p.MovI(2, 900) // rows
+	p.Label("row")
+	p.MovI(3, 1) // col
+	p.Label("col")
+	p.SubI(4, 3, 1)
+	p.LdrR(5, 19, 4, 3) // M[j-1]
+	p.LdrR(6, 20, 4, 3) // I[j-1]
+	p.LdrR(7, 21, 4, 3) // D[j-1]
+	// m = max(M,I,D) + score(i,j)
+	p.Cmp(5, 6)
+	p.Csel(8, 5, 6, ga64.CondCS)
+	p.Cmp(8, 7)
+	p.Csel(8, 8, 7, ga64.CondCS)
+	p.Eor(9, 2, 3)
+	p.AndI(9, 9, 63)
+	p.Add(8, 8, 9)
+	p.StrR(8, 19, 3, 3) // M[j]
+	p.AddI(10, 8, 3)
+	p.StrR(10, 20, 3, 3) // I[j]
+	p.AddI(10, 8, 7)
+	p.StrR(10, 21, 3, 3) // D[j]
+	p.AddI(3, 3, 1)
+	p.CmpI(3, cols)
+	p.BCond(ga64.CondNE, "col")
+	p.Add(rChk, rChk, 8)
+	p.SubsI(2, 2, 1)
+	p.BCond(ga64.CondNE, "row")
+	exit(p)
+	return p
+}
+
+// sjeng: bitboard manipulation (shifts, popcount loops, branches).
+func sjeng() *asm.Program {
+	p := UserProgram()
+	p.MovI(rChk, 0)
+	p.MovI(19, heap) // attack tables: 4096 x 8
+	// Precompute the table.
+	p.MovI(2, 4096)
+	p.MovI(3, 0xC2B2AE3D27D4EB4F)
+	p.Label("mktab")
+	p.Mul(3, 3, 3)
+	p.AddI(3, 3, 0x2D)
+	p.SubI(2, 2, 1)
+	p.StrR(3, 19, 2, 3)
+	p.Cbnz(2, "mktab")
+	p.MovI(2, 140000) // positions
+	p.MovI(3, 0x8A5CD789635D2DFF)
+	p.Label("pos")
+	// Generate "moves": b = board; while b: sq = b & -b; look up the
+	// attack table for the square (bitboard engines are table-driven).
+	p.Mov(4, 3)
+	p.MovI(5, 0)
+	p.Label("bits")
+	p.Cbz(4, "donebits")
+	p.Movz(6, 0, 0)
+	p.Sub(6, 6, 4) // -b
+	p.And(6, 4, 6) // lowest set bit
+	p.Eor(4, 4, 6) // clear it
+	p.MovI(7, 4095)
+	p.And(7, 6, 7)
+	p.LdrR(8, 19, 7, 3) // attack table lookup
+	p.Eor(5, 5, 8)
+	p.AddI(5, 5, 1)
+	p.B("bits")
+	p.Label("donebits")
+	p.Add(rChk, rChk, 5)
+	// xorshift the board
+	p.Lsl(6, 3, 13)
+	p.Eor(3, 3, 6)
+	p.Lsr(6, 3, 7)
+	p.Eor(3, 3, 6)
+	p.Lsl(6, 3, 17)
+	p.Eor(3, 3, 6)
+	p.SubsI(2, 2, 1)
+	p.BCond(ga64.CondNE, "pos")
+	exit(p)
+	return p
+}
+
+// libquantum: streaming toggles over a large array (bandwidth bound).
+func libquantum() *asm.Program {
+	p := UserProgram()
+	const n = 1 << 16 // 64k qubits x 8 bytes
+	p.MovI(rChk, 0)
+	p.MovI(19, heap)
+	p.MovI(20, 22) // gate applications
+	p.Label("gate")
+	p.MovI(2, 0)
+	p.MovI(3, 0x5555555555555555)
+	p.Label("qubit")
+	p.LdrR(4, 19, 2, 3)
+	p.Eor(4, 4, 3) // toggle
+	p.Add(4, 4, 2)
+	p.StrR(4, 19, 2, 3)
+	p.Add(rChk, rChk, 4)
+	p.AddI(2, 2, 1)
+	p.MovI(22, n)
+	p.Cmp(2, 22)
+	p.BCond(ga64.CondNE, "qubit")
+	p.SubsI(20, 20, 1)
+	p.BCond(ga64.CondNE, "gate")
+	exit(p)
+	return p
+}
+
+// h264ref: sum-of-absolute-differences over 16x16 blocks.
+func h264ref() *asm.Program {
+	p := UserProgram()
+	const frame = 1 << 14
+	p.MovI(rChk, 0)
+	p.MovI(19, heap)
+	p.MovI(20, heap+frame)
+	// Seed both frames.
+	p.MovI(2, frame)
+	p.MovI(3, 777)
+	p.Label("seed")
+	p.MovI(4, 2654435761)
+	p.Mul(3, 3, 4)
+	p.AddI(3, 3, 97)
+	p.Lsr(4, 3, 24)
+	p.SubI(2, 2, 1)
+	p.StrbR(4, 19, 2, 0)
+	p.Lsr(4, 3, 16)
+	p.StrbR(4, 20, 2, 0)
+	p.Cbnz(2, "seed")
+	// SAD sweeps.
+	p.MovI(21, 60) // block passes
+	p.Label("pass")
+	p.MovI(2, 0)
+	p.Label("sad")
+	p.LdrbR(4, 19, 2, 0)
+	p.LdrbR(5, 20, 2, 0)
+	p.Subs(6, 4, 5)
+	p.BCond(ga64.CondCS, "abs_done") // no borrow: diff >= 0
+	p.Sub(6, 5, 4)
+	p.Label("abs_done")
+	p.Add(rChk, rChk, 6)
+	p.AddI(2, 2, 1)
+	p.MovI(22, frame)
+	p.Cmp(2, 22)
+	p.BCond(ga64.CondNE, "sad")
+	p.SubsI(21, 21, 1)
+	p.BCond(ga64.CondNE, "pass")
+	exit(p)
+	return p
+}
+
+// omnetpp: binary-heap event queue churn (branchy pointer math).
+func omnetpp() *asm.Program {
+	p := UserProgram()
+	const cap = 4096
+	p.MovI(rChk, 0)
+	p.MovI(19, heap)  // heap array
+	p.MovI(20, 0)     // heap size
+	p.MovI(2, 300000) // events
+	p.MovI(3, 0x2545F4914F6CDD1D)
+	p.Label("event")
+	// xorshift for the new key
+	p.Lsr(4, 3, 12)
+	p.Eor(3, 3, 4)
+	p.Lsl(4, 3, 25)
+	p.Eor(3, 3, 4)
+	p.Lsr(4, 3, 27)
+	p.Eor(3, 3, 4)
+	// If the heap is full-ish, pop-min (sift down one level); else push.
+	p.CmpI(20, cap-1)
+	p.BCond(ga64.CondCS, "pop")
+	// push: sift up
+	p.Mov(5, 20) // i
+	p.StrR(3, 19, 5, 3)
+	p.AddI(20, 20, 1)
+	p.Label("siftup")
+	p.Cbz(5, "edone")
+	p.SubI(6, 5, 1)
+	p.Lsr(6, 6, 1) // parent
+	p.LdrR(7, 19, 6, 3)
+	p.LdrR(8, 19, 5, 3)
+	p.Cmp(8, 7)
+	p.BCond(ga64.CondCS, "edone") // child >= parent: done
+	p.StrR(8, 19, 6, 3)
+	p.StrR(7, 19, 5, 3)
+	p.Mov(5, 6)
+	p.B("siftup")
+	p.Label("pop")
+	// pop: move last to root, one sift-down level
+	p.SubI(20, 20, 1)
+	p.LdrR(7, 19, 20, 3) // last
+	p.Ldr(8, 19, 0)      // min
+	p.Add(rChk, rChk, 8)
+	p.Str(7, 19, 0)
+	p.MovI(5, 0)
+	p.Label("siftdown")
+	p.Lsl(6, 5, 1)
+	p.AddI(6, 6, 1) // left child
+	p.Cmp(6, 20)
+	p.BCond(ga64.CondCS, "edone")
+	p.LdrR(9, 19, 6, 3)
+	p.LdrR(8, 19, 5, 3)
+	p.Cmp(9, 8)
+	p.BCond(ga64.CondCS, "edone")
+	p.StrR(9, 19, 5, 3)
+	p.StrR(8, 19, 6, 3)
+	p.Mov(5, 6)
+	p.B("siftdown")
+	p.Label("edone")
+	p.SubsI(2, 2, 1)
+	p.BCond(ga64.CondNE, "event")
+	exit(p)
+	return p
+}
+
+// astar: grid flood expansion with a frontier array.
+func astar() *asm.Program {
+	p := UserProgram()
+	const dim = 128
+	p.MovI(rChk, 0)
+	p.MovI(19, heap)           // cost grid (dim*dim x 8)
+	p.MovI(20, heap+dim*dim*8) // frontier array
+	p.MovI(21, 900)            // waves
+	p.Label("wave")
+	// Seed frontier with a diagonal.
+	p.MovI(2, 0)
+	p.Label("fseed")
+	p.MovI(3, dim+1)
+	p.Mul(3, 2, 3)
+	p.StrR(3, 20, 2, 3)
+	p.AddI(2, 2, 1)
+	p.CmpI(2, dim)
+	p.BCond(ga64.CondNE, "fseed")
+	// Expand each frontier cell into 4 neighbours.
+	p.MovI(2, 0)
+	p.Label("expand")
+	p.LdrR(3, 20, 2, 3) // cell
+	// neighbours: +-1, +-dim (clamped by mask)
+	p.MovI(9, dim*dim-1)
+	p.AddI(4, 3, 1)
+	p.And(4, 4, 9)
+	p.LdrR(5, 19, 4, 3)
+	p.AddI(5, 5, 1)
+	p.StrR(5, 19, 4, 3)
+	p.SubI(4, 3, 1)
+	p.And(4, 4, 9)
+	p.LdrR(6, 19, 4, 3)
+	p.AddI(6, 6, 3)
+	p.StrR(6, 19, 4, 3)
+	p.AddI(4, 3, dim)
+	p.And(4, 4, 9)
+	p.LdrR(7, 19, 4, 3)
+	p.AddI(7, 7, 7)
+	p.StrR(7, 19, 4, 3)
+	p.SubI(4, 3, dim)
+	p.And(4, 4, 9)
+	p.LdrR(8, 19, 4, 3)
+	p.AddI(8, 8, 11)
+	p.StrR(8, 19, 4, 3)
+	p.Add(rChk, rChk, 5)
+	p.Add(rChk, rChk, 7)
+	p.AddI(2, 2, 1)
+	p.CmpI(2, dim)
+	p.BCond(ga64.CondNE, "expand")
+	p.SubsI(21, 21, 1)
+	p.BCond(ga64.CondNE, "wave")
+	exit(p)
+	return p
+}
+
+// xalancbmk: byte-stream state machine ("XML" token scanning).
+func xalancbmk() *asm.Program {
+	p := UserProgram()
+	const n = 1 << 15
+	p.MovI(rChk, 0)
+	p.MovI(19, heap)
+	// Generate a pseudo-document.
+	p.MovI(2, n)
+	p.MovI(3, 0xBEEF)
+	p.Label("gen")
+	p.MovI(4, 75)
+	p.Mul(3, 3, 4)
+	p.AddI(4, 3, 74)
+	p.Lsr(4, 4, 8)
+	p.AndI(4, 4, 0x7F)
+	p.SubI(2, 2, 1)
+	p.StrbR(4, 19, 2, 0)
+	p.Cbnz(2, "gen")
+	// Scan with a 4-state machine, 26 passes.
+	p.MovI(21, 14)
+	p.Label("pass")
+	p.MovI(2, 0) // i
+	p.MovI(5, 0) // state
+	p.Label("scan")
+	p.LdrbR(4, 19, 2, 0)
+	// state transitions keyed on '<' (60), '>' (62), '/' (47)
+	p.CmpI(4, 60)
+	p.BCond(ga64.CondEQ, "open")
+	p.CmpI(4, 62)
+	p.BCond(ga64.CondEQ, "close")
+	p.CmpI(4, 47)
+	p.BCond(ga64.CondEQ, "slash")
+	p.Add(rChk, rChk, 5)
+	p.B("next")
+	p.Label("open")
+	p.MovI(5, 1)
+	p.AddI(rChk, rChk, 3)
+	p.B("next")
+	p.Label("close")
+	p.MovI(5, 0)
+	p.AddI(rChk, rChk, 5)
+	p.B("next")
+	p.Label("slash")
+	p.Cbz(5, "next")
+	p.MovI(5, 2)
+	p.Label("next")
+	p.AddI(2, 2, 1)
+	p.MovI(22, n)
+	p.Cmp(2, 22)
+	p.BCond(ga64.CondNE, "scan")
+	p.SubsI(21, 21, 1)
+	p.BCond(ga64.CondNE, "pass")
+	exit(p)
+	return p
+}
+
+// --- floating point ---
+
+// sphinx3: Gaussian log-likelihood accumulation.
+func sphinx3() *asm.Program {
+	p := UserProgram()
+	p.MovI(rChk, 0)
+	p.MovF(8, 2, 0.0)    // acc
+	p.MovF(9, 2, 1.0)    // x
+	p.MovF(10, 2, 0.125) // dx
+	p.MovF(11, 2, 0.5)   // mean-ish
+	p.MovF(12, 2, 0.9)   // weight
+	p.MovI(2, 400000)
+	p.Label("frame")
+	p.Fsub(13, 9, 11)  // d = x - mean
+	p.Fmul(13, 13, 13) // d*d
+	p.Fmul(13, 13, 12) // * w
+	p.Fadd(8, 8, 13)   // acc += ...
+	p.Fadd(9, 9, 10)   // x += dx
+	p.Fmul(10, 10, 12) // dx *= w (decay)
+	p.Fmadd(8, 13, 12, 8)
+	p.SubsI(2, 2, 1)
+	p.BCond(ga64.CondNE, "frame")
+	p.Fcvtzs(rChk, 8)
+	exit(p)
+	return p
+}
+
+// milc: complex multiply-accumulate chains (SU(3)-flavoured).
+func milc() *asm.Program {
+	p := UserProgram()
+	p.MovI(rChk, 0)
+	p.MovF(8, 2, 0.7)   // ar
+	p.MovF(9, 2, 0.3)   // ai
+	p.MovF(10, 2, 0.99) // br
+	p.MovF(11, 2, 0.01) // bi
+	p.MovF(14, 2, 0.0)  // accr
+	p.MovF(15, 2, 0.0)  // acci
+	p.MovI(2, 350000)
+	p.Label("site")
+	// (ar+ai i) *= (br+bi i)
+	p.Fmul(12, 8, 10)
+	p.Fmul(13, 9, 11)
+	p.Fsub(12, 12, 13) // new ar
+	p.Fmul(13, 8, 11)
+	p.Fmadd(13, 9, 10, 13) // new ai
+	p.Fmov(8, 12)
+	p.Fmov(9, 13)
+	p.Fadd(14, 14, 8)
+	p.Fadd(15, 15, 9)
+	p.SubsI(2, 2, 1)
+	p.BCond(ga64.CondNE, "site")
+	p.Fmul(14, 14, 14)
+	p.Fmadd(14, 15, 15, 14)
+	p.Fcvtzs(rChk, 14)
+	exit(p)
+	return p
+}
+
+// gromacs: Lennard-Jones-style force evaluation (divides and square roots).
+func gromacs() *asm.Program {
+	p := UserProgram()
+	p.MovI(rChk, 0)
+	p.MovF(8, 2, 0.0)  // energy
+	p.MovF(9, 2, 1.01) // r2
+	p.MovF(10, 2, 1.0) //
+	p.MovF(11, 2, 0.002)
+	p.MovI(2, 120000)
+	p.Label("pair")
+	p.Fsqrt(12, 9)     // r
+	p.Fdiv(13, 10, 12) // 1/r
+	p.Fmul(14, 13, 13) // 1/r^2
+	p.Fmul(14, 14, 14) // 1/r^4
+	p.Fmul(15, 14, 14) // 1/r^8
+	p.Fsub(15, 15, 14) // r^-8 - r^-4 (LJ-ish)
+	p.Fadd(8, 8, 15)
+	p.Fadd(9, 9, 11) // next distance
+	p.SubsI(2, 2, 1)
+	p.BCond(ga64.CondNE, "pair")
+	p.Fcvtzs(rChk, 8)
+	exit(p)
+	return p
+}
+
+// namd: bonded-force inner loops: fused multiply-add chains over arrays.
+func namd() *asm.Program {
+	p := UserProgram()
+	const atoms = 2048
+	p.MovI(rChk, 0)
+	p.MovI(19, heap)
+	// Initialize coordinates.
+	p.MovI(2, 0)
+	p.MovF(8, 3, 0.001)
+	p.MovF(9, 3, 0.0)
+	p.Label("init")
+	p.Fadd(9, 9, 8)
+	p.Lsl(3, 2, 3)
+	p.Add(3, 3, 19)
+	p.Fstr(9, 3, 0)
+	p.AddI(2, 2, 1)
+	p.CmpI(2, atoms)
+	p.BCond(ga64.CondNE, "init")
+	// Force sweeps.
+	p.MovI(20, 110)
+	p.MovF(10, 3, 0.5)
+	p.MovF(14, 3, 0.0) // acc
+	p.Label("sweep")
+	p.MovI(2, 1)
+	p.Label("atom")
+	p.SubI(4, 2, 1)
+	p.Lsl(3, 4, 3)
+	p.Add(3, 3, 19)
+	p.Fldr(11, 3, 0) // x[i-1]
+	p.Fldr(12, 3, 8) // x[i]
+	p.Fsub(13, 12, 11)
+	p.Fmadd(14, 13, 10, 14) // acc += d * k
+	p.Fmadd(12, 13, 10, 12) // x[i] += d*k
+	p.Fstr(12, 3, 8)
+	p.AddI(2, 2, 1)
+	p.CmpI(2, atoms)
+	p.BCond(ga64.CondNE, "atom")
+	p.SubsI(20, 20, 1)
+	p.BCond(ga64.CondNE, "sweep")
+	p.Fcvtzs(rChk, 14)
+	exit(p)
+	return p
+}
+
+// lbm: lattice-Boltzmann stencil over a 1D-flattened grid, using the 2x64
+// vector unit for the streaming update.
+func lbm() *asm.Program {
+	p := UserProgram()
+	const cells = 1 << 13
+	p.MovI(rChk, 0)
+	p.MovI(19, heap)
+	// Initialize densities.
+	p.MovI(2, 0)
+	p.MovF(8, 3, 1.0)
+	p.MovF(9, 3, 0.0001)
+	p.Label("init")
+	p.Lsl(3, 2, 3)
+	p.Add(3, 3, 19)
+	p.Fstr(8, 3, 0)
+	p.Fadd(8, 8, 9)
+	p.AddI(2, 2, 1)
+	p.CmpI(2, cells)
+	p.BCond(ga64.CondNE, "init")
+	// Relaxation sweeps: cell = (left + right) * 0.5 * omega + cell*(1-omega)
+	p.MovI(20, 60)
+	p.MovF(10, 3, 0.35) // omega/2
+	p.MovF(11, 3, 0.3)  // 1-omega
+	p.Label("sweep")
+	p.MovI(2, 1)
+	p.Label("cell")
+	p.Lsl(3, 2, 3)
+	p.Add(3, 3, 19)
+	p.Fldr(12, 3, -8)
+	p.Fldr(13, 3, 8)
+	p.Fadd(12, 12, 13)
+	p.Fmul(12, 12, 10)
+	p.Fldr(13, 3, 0)
+	p.Fmadd(12, 13, 11, 12)
+	p.Fstr(12, 3, 0)
+	p.AddI(2, 2, 1)
+	p.CmpI(2, cells-1)
+	p.BCond(ga64.CondNE, "cell")
+	p.SubsI(20, 20, 1)
+	p.BCond(ga64.CondNE, "sweep")
+	p.Lsl(3, 2, 2)
+	p.Add(3, 3, 19)
+	p.Fldr(14, 3, 0)
+	p.Fcvtzs(rChk, 14)
+	exit(p)
+	return p
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"captive/internal/vx64"
+)
+
+// Block chaining (§2.6): block exits are TRAP-to-dispatcher epilogues that
+// get progressively patched with PC-compare chains — the generalization of
+// direct-jump chaining that also covers conditional branches:
+//
+//	movi64 r12, <target-pc>
+//	cmp    r15, r12
+//	jne    +5
+//	jmp    <target block entry>
+//	... second slot ...
+//	trap   #1            ; miss: back to the dispatcher
+//
+// Each exit holds up to two chain slots (taken/fall-through of a
+// conditional branch). A hit costs a handful of deci-cycles instead of a
+// dispatcher round trip; guest TLB flushes and SMC invalidations unpatch by
+// restoring the TRAP at the epilogue head.
+
+// chainSlotSize is the encoded size of one chain slot:
+// MOVI64 (10) + CMPrr (3) + JCC (6) + JMP (5).
+const chainSlotSize = 24
+
+// maxChainSlots bounds the slots per exit.
+const maxChainSlots = 2
+
+// epilogueSize reserves room for two slots plus the terminal TRAP (2 bytes)
+// and padding.
+const epilogueSize = maxChainSlots*chainSlotSize + 4
+
+// dispatchTrapVec is the TRAP vector meaning "return to dispatcher".
+const dispatchTrapVec = 1
+
+// writeEpilogue resets an epilogue to its unchained state.
+func writeEpilogue(phys vx64.PhysMem, pa uint64) {
+	tr := vx64.Inst{Op: vx64.TRAP, Imm: dispatchTrapVec}
+	buf := vx64.Encode(nil, &tr)
+	for len(buf) < epilogueSize {
+		buf = append(buf, byte(vx64.NOP))
+	}
+	copy(phys[pa:], buf)
+}
+
+// chainSlot is an installed PC-compare chain entry.
+type chainSlot struct {
+	target uint64
+	blk    *Block
+}
+
+// chain installs a chain slot in b's exit for target pc -> to. It reports
+// whether a new slot was installed.
+func (c *codeCache) chain(b *Block, exitIdx int, to *Block, pc uint64) bool {
+	e := &b.Exits[exitIdx]
+	if len(e.Slots) >= maxChainSlots || !to.Valid || !b.Valid {
+		return false
+	}
+	for _, s := range e.Slots {
+		if s.target == pc {
+			return false
+		}
+	}
+	off := e.EpiPA + uint64(len(e.Slots))*chainSlotSize
+	var buf []byte
+	mov := vx64.Inst{Op: vx64.MOVI64, Rd: uint16(vx64.RTMP), Imm: int64(pc)}
+	buf = vx64.Encode(buf, &mov)
+	cmp := vx64.Inst{Op: vx64.CMPrr, Rd: uint16(vx64.RPC), Rs: uint16(vx64.RTMP)}
+	buf = vx64.Encode(buf, &cmp)
+	jne := vx64.Inst{Op: vx64.JCC, Cond: vx64.CondNE, Imm: 5}
+	buf = vx64.Encode(buf, &jne)
+	jmpEnd := hvmDirect(off) + uint64(len(buf)) + 5
+	jmp := vx64.Inst{Op: vx64.JMP, Imm: int64(to.Entry) - int64(jmpEnd)}
+	buf = vx64.Encode(buf, &jmp)
+	if len(buf) != chainSlotSize {
+		panic("core: chain slot size drifted")
+	}
+	copy(c.phys[off:], buf)
+	// Re-install the terminal TRAP after the new slot.
+	next := off + chainSlotSize
+	tr := vx64.Inst{Op: vx64.TRAP, Imm: dispatchTrapVec}
+	tb := vx64.Encode(nil, &tr)
+	copy(c.phys[next:], tb)
+	c.cpu.InvalidateCode(e.EpiPA, epilogueSize)
+
+	e.Slots = append(e.Slots, chainSlot{target: pc, blk: to})
+	to.incoming = append(to.incoming, patchRef{from: b, exit: exitIdx})
+	return true
+}
+
+// unchain removes every slot of an exit.
+func (c *codeCache) unchain(b *Block, exitIdx int) {
+	e := &b.Exits[exitIdx]
+	if len(e.Slots) == 0 {
+		return
+	}
+	writeEpilogue(c.phys, e.EpiPA)
+	c.cpu.InvalidateCode(e.EpiPA, epilogueSize)
+	e.Slots = nil
+}
+
+// trapOffsets enumerates the physical addresses at which this exit's TRAP
+// can sit (after 0, 1 or 2 installed slots), for dispatcher identification.
+func (e *Exit) trapOffsets() [maxChainSlots + 1]uint64 {
+	var out [maxChainSlots + 1]uint64
+	for i := 0; i <= maxChainSlots; i++ {
+		out[i] = e.EpiPA + uint64(i)*chainSlotSize
+	}
+	return out
+}

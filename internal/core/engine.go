@@ -1,0 +1,683 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"captive/internal/gen"
+	"captive/internal/guest/ga64"
+	"captive/internal/hvm"
+	"captive/internal/softfloat"
+	"captive/internal/vx64"
+)
+
+// Dispatcher and JIT cost constants (deci-cycles). The JIT charge models the
+// translation work of the online pipeline; Captive's per-block charge is
+// deliberately higher than the QEMU baseline's (§3.4: Captive translates
+// ~2.6× slower per block because of its more aggressive online pipeline).
+const (
+	costDispatch     = 200  // Captive dispatcher round trip per block entry
+	costJITBase      = 3000 // per-block translation overhead
+	costJITPerLIR    = 90   // per low-level IR instruction translated
+	costSoftFPAdd    = 500  // soft-float helper bodies (§3.6.2 ablation)
+	costSoftFPMul    = 700
+	costSoftFPDiv    = 1800
+	costSoftFPSqrt   = 2200
+	costMMIOEmulate  = 3000 // trap-and-emulate device access
+	costInjectExc    = 1200 // guest exception injection bookkeeping
+	costInvalidateTr = 2500 // host-mapping invalidation on guest TLB ops
+	// costFaultLookup is the extra price Captive pays to turn a host page
+	// fault into a guest exception: reconstructing the faulting guest
+	// virtual address and access kind from the trapped state ("the
+	// book-keeping required to figure out which virtual address caused
+	// the fault", §3.5 — the reason Captive loses the Data-Fault
+	// micro-benchmark).
+	costFaultLookup = 15000
+	// costQDispatch is the QEMU baseline's dispatcher round trip: its
+	// cpu_exec loop performs a hashed tb lookup plus interrupt checks and
+	// is measurably heavier than Captive's direct dispatch.
+	costQDispatch = 400
+)
+
+// maxBlockInstrs bounds guest basic-block length.
+const maxBlockInstrs = 64
+
+// JITStats aggregates compilation statistics (Figs. 19/20, §3.4).
+type JITStats struct {
+	Blocks       int
+	GuestInstrs  int
+	DAGNodes     int
+	LIRInsts     int
+	CodeBytes    int
+	DeadInsts    int
+	Spills       int
+	DecodeTime   time.Duration
+	TranslateT   time.Duration
+	RegallocT    time.Duration
+	EncodeT      time.Duration
+	CacheFlushes uint64
+}
+
+// Stats aggregates runtime statistics.
+type Stats struct {
+	DispatchLoops  uint64
+	BlockChains    uint64
+	HostFaults     uint64
+	GuestFaults    uint64
+	MMIOEmulations uint64
+	SMCInvals      uint64
+	TransFlushes   uint64 // guest TLB flush / regime changes
+}
+
+// Engine is the Captive execution engine for one guest machine (or, with
+// Kind == BackendQEMU, the QEMU-style baseline).
+type Engine struct {
+	vm     *hvm.VM
+	cpu    *vx64.CPU
+	module *gen.Module
+	sys    ga64.Sys
+
+	// Kind selects the Captive design or the QEMU-baseline design.
+	Kind BackendKind
+	// SoftFP selects the §3.6.2 helper-call floating-point lowering.
+	SoftFP bool
+	// ChainingOff disables block chaining (Fig. 21 methodology).
+	ChainingOff bool
+	// ProfileBlocks accumulates per-block execution cycles (Fig. 21). Only
+	// meaningful with ChainingOff, so every block entry passes through the
+	// dispatcher.
+	ProfileBlocks bool
+	// BlockCycles and BlockRuns are the per-guest-block profile (keyed by
+	// block start PC) collected when ProfileBlocks is set.
+	BlockCycles map[uint64]uint64
+	BlockRuns   map[uint64]uint64
+
+	// softTLBOff is the R13-relative offset of the baseline's softmmu TLB.
+	softTLBOff int32
+	lastEL     uint8
+
+	mmu   *hostMMU
+	cache *codeCache
+
+	curMode uint64 // 0 = low half, 1 = high half
+
+	iTLB map[uint64]itlbEntry // vaPage -> translation
+
+	exitByPA   map[uint64]exitRef
+	allChained []exitRef
+	lastExit   *exitRef
+
+	halted   bool
+	exitCode uint64
+
+	// regfile layout shortcuts
+	pcOff   int
+	nzcvOff int
+	xOff    int
+	vlOff   int
+
+	hooks ga64.Hooks
+
+	JIT   JITStats
+	Stats Stats
+}
+
+type itlbEntry struct {
+	gpaPage uint64
+	user    bool
+}
+
+type exitRef struct {
+	blk *Block
+	idx int
+}
+
+// New creates a Captive engine inside the given host VM.
+func New(vm *hvm.VM, module *gen.Module) (*Engine, error) {
+	if module.Layout.Size > 0x1000 {
+		return nil, fmt.Errorf("core: register file (%d bytes) exceeds its page", module.Layout.Size)
+	}
+	e := &Engine{
+		vm: vm, cpu: vm.CPU, module: module,
+		iTLB:     make(map[uint64]itlbEntry),
+		exitByPA: make(map[uint64]exitRef),
+	}
+	e.sys.Reset()
+	l := vm.Layout
+	e.mmu = newHostMMU(vm.Phys, vm.CPU, l.PTPoolPA, l.PTPoolSize)
+	e.cache = newCodeCache(vm.Phys, vm.CPU, l.CodePA, l.CodeSize)
+
+	e.pcOff = module.Layout.PCOffset
+	e.nzcvOff = module.Registry.Bank("NZCV").Offset
+	e.xOff = module.Registry.Bank("X").Offset
+	e.vlOff = module.Registry.Bank("VL").Offset
+
+	e.hooks = ga64.Hooks{
+		CycleCount:         func() uint64 { return e.cpu.Stats.Cycles / 10 },
+		TranslationChanged: e.translationChanged,
+	}
+
+	// Pin the fixed registers (package comment of emitter.go).
+	cpu := e.cpu
+	cpu.R[vx64.RSTA] = hvm.DirectVA(l.StatePA)
+	cpu.R[vx64.RRF] = hvm.DirectVA(l.RegFilePA)
+	cpu.R[vx64.RSP] = hvm.DirectVA(l.StackTopPA)
+	cpu.R[vx64.R10] = hvm.LowHalfMask
+	cpu.R[vx64.R9] = 0
+	cpu.SetCR3(e.mmu.rootCR3(0), true)
+
+	e.registerHelpers()
+	return e, nil
+}
+
+// --- guest state access -------------------------------------------------------
+
+func (e *Engine) regfile() []byte {
+	pa := e.vm.Layout.RegFilePA
+	return e.vm.Phys[pa : pa+uint64(e.module.Layout.Size)]
+}
+
+// Reg returns guest register Xn.
+func (e *Engine) Reg(n int) uint64 {
+	return binary.LittleEndian.Uint64(e.regfile()[e.xOff+8*n:])
+}
+
+// SetReg sets guest register Xn.
+func (e *Engine) SetReg(n int, v uint64) {
+	binary.LittleEndian.PutUint64(e.regfile()[e.xOff+8*n:], v)
+}
+
+// FReg returns the low half of guest vector register Vn.
+func (e *Engine) FReg(n int) uint64 {
+	return binary.LittleEndian.Uint64(e.regfile()[e.vlOff+8*n:])
+}
+
+// PC returns the guest program counter.
+func (e *Engine) PC() uint64 { return binary.LittleEndian.Uint64(e.regfile()[e.pcOff:]) }
+
+// SetPC sets the guest program counter.
+func (e *Engine) SetPC(v uint64) { binary.LittleEndian.PutUint64(e.regfile()[e.pcOff:], v) }
+
+// NZCV returns the guest flags nibble.
+func (e *Engine) NZCV() uint8 { return e.regfile()[e.nzcvOff] }
+
+// SetNZCV sets the guest flags.
+func (e *Engine) SetNZCV(v uint8) { e.regfile()[e.nzcvOff] = v & 0xF }
+
+// Sys exposes the guest system state (tests, examples).
+func (e *Engine) Sys() *ga64.Sys { return &e.sys }
+
+// Halted reports whether the guest executed hlt, and the exit code.
+func (e *Engine) Halted() (bool, uint64) { return e.halted, e.exitCode }
+
+// GuestInstrs returns the number of retired guest instructions (maintained
+// by the instrumentation prologue of every translated block).
+func (e *Engine) GuestInstrs() uint64 {
+	return e.vm.Phys.R64(e.vm.Layout.StatePA + hvm.StateICount)
+}
+
+// Console returns the guest UART output.
+func (e *Engine) Console() string { return e.vm.Bus.Console() }
+
+// LoadImage loads a guest image at a guest physical address and points the
+// guest PC at entry.
+func (e *Engine) LoadImage(data []byte, gpa, entry uint64) error {
+	if err := e.vm.LoadGuestImage(data, gpa); err != nil {
+		return err
+	}
+	e.SetPC(entry)
+	return nil
+}
+
+// --- exception injection -------------------------------------------------------
+
+func (e *Engine) inject(ec uint8, iss uint32, far, preferredReturn uint64) {
+	e.Stats.GuestFaults++
+	e.cpu.Stats.Cycles += costInjectExc
+	newPC := e.sys.TakeException(ec, iss, far, e.NZCV(), preferredReturn, false)
+	e.SetPC(newPC)
+}
+
+// translationChanged responds to guest TTBR/SCTLR writes and TLB flushes:
+// host mappings and the dispatcher's translation cache are dropped; the
+// translation cache of *code* is retained because it is indexed by guest
+// physical address (§2.6) — only the chain links are reset.
+func (e *Engine) translationChanged() {
+	e.Stats.TransFlushes++
+	clear(e.iTLB)
+	if e.Kind == BackendQEMU {
+		// The baseline's translations are virtually indexed: everything
+		// goes — code cache and softmmu TLB (§2.6's contrast).
+		e.cpu.Stats.Cycles += costSoftTLBFlush
+		e.flushSoftTLB()
+		e.flushTranslations()
+		return
+	}
+	e.cpu.Stats.Cycles += costInvalidateTr
+	e.mmu.InvalidateGuestMappings()
+	for _, ref := range e.allChained {
+		e.cache.unchain(ref.blk, ref.idx)
+	}
+	e.allChained = e.allChained[:0]
+}
+
+// translatePC resolves the guest PC to a physical address for block lookup,
+// injecting an instruction abort on failure. The Go-side iTLB caches
+// fetch translations between guest TLB flushes.
+func (e *Engine) translatePC(pc uint64) (uint64, bool) {
+	vaPage := pc >> 12
+	if ent, ok := e.iTLB[vaPage]; ok {
+		if e.sys.EL == 0 && !ent.user {
+			e.inject(ga64.AbortEC(true, e.sys.EL), ga64.AbortISS(false, false), pc, pc)
+			return 0, false
+		}
+		return ent.gpaPage<<12 | pc&0xFFF, true
+	}
+	w := e.guestWalk(pc)
+	if !w.OK {
+		e.inject(ga64.AbortEC(true, e.sys.EL), ga64.AbortISS(true, false), pc, pc)
+		return 0, false
+	}
+	if e.sys.EL == 0 && !w.User {
+		e.inject(ga64.AbortEC(true, e.sys.EL), ga64.AbortISS(false, false), pc, pc)
+		return 0, false
+	}
+	e.iTLB[vaPage] = itlbEntry{gpaPage: w.PA >> 12, user: w.User}
+	return w.PA&^uint64(0xFFF) | pc&0xFFF, true
+}
+
+// --- main loop -------------------------------------------------------
+
+// ErrBudget is returned when Run hits its cycle budget before the guest
+// halts.
+var ErrBudget = fmt.Errorf("core: cycle budget exhausted")
+
+// Run executes the guest until it halts or the deci-cycle budget expires.
+func (e *Engine) Run(budget uint64) error {
+	limit := e.cpu.Stats.Cycles + budget
+	for !e.halted {
+		if e.cpu.Stats.Cycles >= limit {
+			return ErrBudget
+		}
+		e.Stats.DispatchLoops++
+		if e.Kind == BackendQEMU {
+			e.cpu.Stats.Cycles += costQDispatch
+		} else {
+			e.cpu.Stats.Cycles += costDispatch
+		}
+
+		pc := e.PC()
+		el := e.sys.EL
+		if e.Kind == BackendQEMU && el != e.lastEL {
+			// The baseline keeps one softmmu TLB: privilege changes flush
+			// it (QEMU proper avoids this with per-mmu-index TLBs).
+			e.flushSoftTLB()
+			e.cpu.Stats.Cycles += costSoftTLBFlush
+			e.lastEL = el
+		}
+		gpa, ok := e.translatePC(pc)
+		if !ok {
+			continue // abort injected; dispatch the handler
+		}
+		key := gpa
+		if e.Kind == BackendQEMU {
+			key = pc
+		}
+		blk := e.cache.lookup(key, el)
+		if blk == nil {
+			var err error
+			blk, err = e.translateBlock(pc, gpa, el)
+			if err != nil {
+				return err
+			}
+		}
+		// Chain the previous block's exit to this one (§2.6): install a
+		// PC-compare slot so the transition bypasses the dispatcher.
+		if e.lastExit != nil && !e.ChainingOff {
+			le := e.lastExit
+			// The baseline only chains direct-branch exits (TCG's goto_tb);
+			// indirect control flow re-enters its dispatcher every time.
+			if le.blk.Valid && le.blk.EL == el &&
+				(e.Kind != BackendQEMU || le.blk.DirectExit) {
+				if e.cache.chain(le.blk, le.idx, blk, pc) {
+					e.allChained = append(e.allChained, *le)
+					e.Stats.BlockChains++
+				}
+			}
+		}
+		e.lastExit = nil
+
+		before := e.cpu.Stats.Cycles
+		if err := e.execute(blk, pc, el, limit); err != nil {
+			return err
+		}
+		if e.ProfileBlocks {
+			if e.BlockCycles == nil {
+				e.BlockCycles = make(map[uint64]uint64)
+				e.BlockRuns = make(map[uint64]uint64)
+			}
+			e.BlockCycles[pc] += e.cpu.Stats.Cycles - before
+			e.BlockRuns[pc]++
+		}
+	}
+	return nil
+}
+
+// execute runs one translated block (and anything it chains to).
+func (e *Engine) execute(blk *Block, pc uint64, el uint8, limit uint64) error {
+	cpu := e.cpu
+	if el == 0 {
+		cpu.CPL = 3
+	} else {
+		cpu.CPL = 0
+	}
+	mode := pc >> 63
+	if mode != e.curMode {
+		e.setMode(mode)
+	}
+	cpu.R[vx64.RPC] = pc
+	cpu.RIP = blk.Entry
+
+	for {
+		slice := limit - min(cpu.Stats.Cycles, limit)
+		if slice == 0 {
+			e.SetPC(cpu.R[vx64.RPC])
+			return nil
+		}
+		trap := cpu.Run(slice)
+		switch trap.Kind {
+		case vx64.TrapSoft:
+			if trap.Vec == dispatchTrapVec {
+				// Normal exit to dispatcher.
+				e.SetPC(cpu.R[vx64.RPC])
+				if ref, ok := e.exitByPA[e.trapPA(trap)]; ok {
+					e.lastExit = &ref
+				}
+				return nil
+			}
+			return fmt.Errorf("core: unexpected soft trap %d at rip %#x", trap.Vec, trap.RIP)
+		case vx64.TrapHelperExit:
+			// Helper redirected control (exception, halt); guest PC is in
+			// the register file already.
+			return nil
+		case vx64.TrapPageFault, vx64.TrapBusError:
+			done, err := e.handleHostFault(trap)
+			if err != nil {
+				return err
+			}
+			if done {
+				// Guest exception injected; back to the dispatcher.
+				return nil
+			}
+			// Resolved (mapping installed / MMIO emulated): resume.
+			continue
+		case vx64.TrapBudget:
+			e.SetPC(cpu.R[vx64.RPC])
+			return nil
+		default:
+			return fmt.Errorf("core: unexpected trap %v (guest pc %#x)", trap, cpu.R[vx64.RPC])
+		}
+	}
+}
+
+// trapPA converts the RIP of a dispatch TRAP back to the epilogue's
+// physical address (RIP points just past the 2-byte TRAP).
+func (e *Engine) trapPA(trap vx64.Trap) uint64 {
+	return trap.RIP - 2 - hvm.DirectBase
+}
+
+func (e *Engine) setMode(mode uint64) {
+	e.curMode = mode
+	e.cpu.SetCR3(e.mmu.rootCR3(mode), false)
+	if mode == 0 {
+		e.cpu.R[vx64.R9] = 0
+	} else {
+		e.cpu.R[vx64.R9] = ^uint64(0)
+	}
+}
+
+// unmask reconstructs the guest VA from a masked (low-half) host VA.
+func (e *Engine) unmask(va uint64) uint64 {
+	if e.curMode == 1 {
+		return va | ^uint64(hvm.LowHalfMask)
+	}
+	return va
+}
+
+// handleHostFault resolves a host page fault raised by translated guest
+// code: demand-populate the host page tables from the guest's (§2.7.3),
+// emulate MMIO, detect self-modifying code (§2.6), or inject a guest
+// exception. It returns done=true when a guest exception was injected.
+func (e *Engine) handleHostFault(trap vx64.Trap) (bool, error) {
+	e.Stats.HostFaults++
+	va := trap.Addr
+	if va > hvm.LowHalfMask {
+		return false, fmt.Errorf("core: engine fault outside guest range: %v", trap)
+	}
+	// Mode at fault time from the active PCID.
+	e.curMode = 0
+	if e.cpu.CR3&0xFFF == pcidHigh {
+		e.curMode = 1
+	}
+	gva := e.unmask(va)
+	write := trap.Access == vx64.AccessWrite
+	guestPC := e.cpu.R[vx64.RPC]
+
+	w := e.guestWalk(gva)
+	if !w.OK {
+		e.cpu.Stats.Cycles += costFaultLookup
+		e.inject(ga64.AbortEC(false, e.sys.EL), ga64.AbortISS(true, write), gva, guestPC)
+		return true, nil
+	}
+	gpa := w.PA
+	if ga64.IsDevice(gpa) {
+		return false, e.emulateMMIO(trap, gpa)
+	}
+	if gpa >= e.vm.Layout.GuestRAMSize {
+		e.cpu.Stats.Cycles += costFaultLookup
+		e.inject(ga64.AbortEC(false, e.sys.EL), ga64.AbortISS(true, write), gva, guestPC)
+		return true, nil
+	}
+	if !w.CheckAccess(write, e.sys.EL) {
+		e.cpu.Stats.Cycles += costFaultLookup
+		e.inject(ga64.AbortEC(false, e.sys.EL), ga64.AbortISS(false, write), gva, guestPC)
+		return true, nil
+	}
+	gpaPage := gpa >> 12
+	if write && e.mmu.isProtected(gpaPage) {
+		// Self-modifying code: drop the page's translations, lift the
+		// protection and retry the store (§2.6).
+		e.Stats.SMCInvals++
+		e.cache.invalidatePage(gpaPage)
+		e.mmu.unprotect(gpaPage)
+		e.mmu.install(e.curMode, va&^uint64(0xFFF), gpaPage<<12, w.Write, w.User)
+		return false, nil
+	}
+	writable := w.Write && !e.mmu.isProtected(gpaPage)
+	e.mmu.install(e.curMode, va&^uint64(0xFFF), gpaPage<<12, writable, w.User)
+	return false, nil
+}
+
+// emulateMMIO performs a trapped device access using the decoded faulting
+// instruction, then resumes past it — the classic trap-and-emulate path of a
+// hardware hypervisor.
+func (e *Engine) emulateMMIO(trap vx64.Trap, gpa uint64) error {
+	e.Stats.MMIOEmulations++
+	e.cpu.Stats.Cycles += costMMIOEmulate
+	in := trap.Inst
+	var width uint8
+	var load bool
+	var fp bool
+	switch in.Op {
+	case vx64.LOAD8, vx64.LOADS8:
+		width, load = 1, true
+	case vx64.LOAD16, vx64.LOADS16:
+		width, load = 2, true
+	case vx64.LOAD32, vx64.LOADS32:
+		width, load = 4, true
+	case vx64.LOAD64:
+		width, load = 8, true
+	case vx64.STORE8:
+		width = 1
+	case vx64.STORE16:
+		width = 2
+	case vx64.STORE32:
+		width = 4
+	case vx64.STORE64:
+		width = 8
+	case vx64.FLD:
+		width, load, fp = 8, true, true
+	case vx64.FST:
+		width, fp = 8, true
+	default:
+		return fmt.Errorf("core: MMIO fault from non-memory instruction %v", in)
+	}
+	if load {
+		v := e.vm.MMIO(gpa, false, width, 0)
+		if in.Op == vx64.LOADS8 {
+			v = uint64(int64(int8(v)))
+		} else if in.Op == vx64.LOADS16 {
+			v = uint64(int64(int16(v)))
+		} else if in.Op == vx64.LOADS32 {
+			v = uint64(int64(int32(v)))
+		}
+		if fp {
+			e.cpu.X[in.Rd] = v
+		} else {
+			e.cpu.R[in.Rd] = v
+		}
+	} else {
+		var v uint64
+		if fp {
+			v = e.cpu.X[in.Rs]
+		} else {
+			v = e.cpu.R[in.Rs]
+		}
+		e.vm.MMIO(gpa, true, width, v)
+	}
+	e.cpu.RIP = trap.NextRIP
+	return nil
+}
+
+// --- helpers -------------------------------------------------------
+
+func (e *Engine) stateSlot(off int64) uint64 {
+	return e.vm.Phys.R64(e.vm.Layout.StatePA + uint64(off))
+}
+
+func (e *Engine) setRet(v uint64) {
+	e.vm.Phys.W64(e.vm.Layout.StatePA+hvm.StateRet, v)
+}
+
+func (e *Engine) registerHelpers() {
+	h := make([]vx64.HelperFunc, helperCount)
+	h[hSwitchSpace] = func(c *vx64.CPU) vx64.HelperAction {
+		e.setMode(e.curMode ^ 1)
+		c.Stats.Cycles += vx64.CostWrCR3PCID
+		return vx64.HelperContinue
+	}
+	h[hSysRead] = func(c *vx64.CPU) vx64.HelperAction {
+		idx := e.stateSlot(hvm.StateArg0)
+		v, ok := e.sys.ReadReg(idx, e.sys.EL, &e.hooks)
+		if !ok {
+			e.inject(ga64.ECUndefined, 0, 0, c.R[vx64.RPC])
+			return vx64.HelperExit
+		}
+		e.setRet(v)
+		return vx64.HelperContinue
+	}
+	h[hSysWrite] = func(c *vx64.CPU) vx64.HelperAction {
+		idx, val := e.stateSlot(hvm.StateArg0), e.stateSlot(hvm.StateArg1)
+		if !e.sys.WriteReg(idx, val, e.sys.EL, &e.hooks) {
+			e.inject(ga64.ECUndefined, 0, 0, c.R[vx64.RPC])
+			return vx64.HelperExit
+		}
+		return vx64.HelperContinue
+	}
+	h[hSVC] = func(c *vx64.CPU) vx64.HelperAction {
+		imm := e.stateSlot(hvm.StateArg0)
+		e.inject(ga64.ECSVC, uint32(imm), 0, c.R[vx64.RPC]+4)
+		return vx64.HelperExit
+	}
+	h[hBRK] = func(c *vx64.CPU) vx64.HelperAction {
+		imm := e.stateSlot(hvm.StateArg0)
+		e.inject(ga64.ECBRK, uint32(imm), 0, c.R[vx64.RPC])
+		return vx64.HelperExit
+	}
+	h[hERet] = func(c *vx64.CPU) vx64.HelperAction {
+		newPC, nzcv := e.sys.ERet()
+		e.SetNZCV(nzcv)
+		e.SetPC(newPC)
+		return vx64.HelperExit
+	}
+	h[hTLBI] = func(c *vx64.CPU) vx64.HelperAction {
+		e.translationChanged()
+		return vx64.HelperContinue
+	}
+	h[hHlt] = func(c *vx64.CPU) vx64.HelperAction {
+		e.halted = true
+		e.exitCode = e.stateSlot(hvm.StateArg0)
+		return vx64.HelperExit
+	}
+	h[hWFI] = func(c *vx64.CPU) vx64.HelperAction {
+		// No interrupt sources: treat as halt.
+		e.halted = true
+		return vx64.HelperExit
+	}
+	h[hUndef] = func(c *vx64.CPU) vx64.HelperAction {
+		e.inject(ga64.ECUndefined, 0, 0, c.R[vx64.RPC])
+		return vx64.HelperExit
+	}
+	h[hFPFixup] = func(c *vx64.CPU) vx64.HelperAction {
+		op := softfloat.FPOp(e.stateSlot(hvm.StateArg0))
+		a, b := e.stateSlot(hvm.StateArg1), e.stateSlot(hvm.StateArg2)
+		e.setRet(softfloat.RecomputeARM(op, a, b))
+		return vx64.HelperContinue
+	}
+	h[hFPSoft] = func(c *vx64.CPU) vx64.HelperAction {
+		op := softfloat.FPOp(e.stateSlot(hvm.StateArg0))
+		a, b := e.stateSlot(hvm.StateArg1), e.stateSlot(hvm.StateArg2)
+		e.setRet(softfloat.RecomputeARM(op, a, b))
+		switch op {
+		case softfloat.FPMul:
+			c.Stats.Cycles += costSoftFPMul
+		case softfloat.FPDiv:
+			c.Stats.Cycles += costSoftFPDiv
+		case softfloat.FPSqrt:
+			c.Stats.Cycles += costSoftFPSqrt
+		default:
+			c.Stats.Cycles += costSoftFPAdd
+		}
+		return vx64.HelperContinue
+	}
+	h[hFCvtZS] = func(c *vx64.CPU) vx64.HelperAction {
+		a := e.stateSlot(hvm.StateArg1)
+		e.setRet(uint64(softfloat.F64ToI64(a, softfloat.SemARM)))
+		return vx64.HelperContinue
+	}
+	h[hQemuFill] = e.qemuFill
+	h[hFMinMax] = func(c *vx64.CPU) vx64.HelperAction {
+		sel := e.stateSlot(hvm.StateArg0)
+		a, b := e.stateSlot(hvm.StateArg1), e.stateSlot(hvm.StateArg2)
+		if sel == 0 {
+			e.setRet(softfloat.Min64(a, b, softfloat.SemARM))
+		} else {
+			e.setRet(softfloat.Max64(a, b, softfloat.SemARM))
+		}
+		return vx64.HelperContinue
+	}
+	e.cpu.Helpers = h
+}
+
+// Cycles returns the simulated host time consumed so far (deci-cycles).
+func (e *Engine) Cycles() uint64 { return e.cpu.Stats.Cycles }
+
+// CPUStats exposes the host CPU's architectural event counters.
+func (e *Engine) CPUStats() vx64.Stats { return e.cpu.Stats }
+
+// LoadUser copies additional image data (e.g. a user program) into guest
+// RAM without changing the PC.
+func (e *Engine) LoadUser(data []byte, gpa uint64) error {
+	return e.vm.LoadGuestImage(data, gpa)
+}

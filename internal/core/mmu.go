@@ -1,0 +1,192 @@
+package core
+
+import (
+	"captive/internal/guest/ga64"
+	"captive/internal/vx64"
+)
+
+// Host-MMU-backed guest virtual memory (§2.7): the engine owns two host
+// page-table roots — one for the guest's low (user, TTBR0) half and one for
+// its high (kernel, TTBR1) half, both mapping into the low host VA range
+// with the high half's addresses masked. The roots carry distinct PCIDs so
+// switching between them is a no-flush CR3 load (§2.7.5). Host PTEs are
+// created on demand by the page-fault handler from guest PTEs; a guest TLB
+// flush or translation-regime change invalidates the roots (clearing the
+// 256 low-half PML4 entries, exactly as §2.7.4 describes) and lets the
+// fault-driven population rebuild them.
+
+const (
+	pcidLow  = 1
+	pcidHigh = 2
+)
+
+// hostMMU manages the host page-table pool and the two roots.
+type hostMMU struct {
+	phys     vx64.PhysMem
+	cpu      *vx64.CPU
+	poolBase uint64
+	poolSize uint64
+	poolNext uint64
+
+	lowRoot  uint64
+	highRoot uint64
+
+	// protected tracks guest physical pages whose host mappings are
+	// write-protected for SMC detection (§2.6).
+	protected map[uint64]bool
+	// installedW tracks guest physical pages that have (or had) a writable
+	// host mapping, so protectPage knows when the big hammer is needed.
+	installedW map[uint64]bool
+
+	// Rebuilds counts full host-mapping invalidations.
+	Rebuilds uint64
+	// Installs counts host PTEs created.
+	Installs uint64
+}
+
+func newHostMMU(phys vx64.PhysMem, cpu *vx64.CPU, poolBase, poolSize uint64) *hostMMU {
+	m := &hostMMU{
+		phys: phys, cpu: cpu,
+		poolBase: poolBase, poolSize: poolSize,
+		protected:  make(map[uint64]bool),
+		installedW: make(map[uint64]bool),
+	}
+	m.lowRoot = m.allocTable()
+	m.highRoot = m.allocTable()
+	return m
+}
+
+// allocTable takes a zeroed 4 KiB page from the pool.
+func (m *hostMMU) allocTable() uint64 {
+	if m.poolNext+vx64.PageSize > m.poolSize {
+		// Pool exhausted: rebuild from scratch (the roots survive at the
+		// bottom of the pool).
+		m.reset()
+	}
+	pa := m.poolBase + m.poolNext
+	m.poolNext += vx64.PageSize
+	clearPage(m.phys, pa)
+	return pa
+}
+
+func clearPage(phys vx64.PhysMem, pa uint64) {
+	clear(phys[pa : pa+vx64.PageSize])
+}
+
+// reset drops every host mapping: both roots are cleared and the pool
+// rewinds past them; the hardware TLB is flushed.
+func (m *hostMMU) reset() {
+	m.poolNext = 2 * vx64.PageSize // keep the two root pages
+	clearPage(m.phys, m.lowRoot)
+	clearPage(m.phys, m.highRoot)
+	clear(m.installedW)
+	m.cpu.FlushTLB()
+	m.Rebuilds++
+}
+
+// InvalidateGuestMappings implements the §2.7.4 response to guest TLB
+// flushes and translation-regime changes.
+func (m *hostMMU) InvalidateGuestMappings() {
+	m.reset()
+}
+
+// root returns the CR3 value for an address-space half (mode 0 = low).
+func (m *hostMMU) rootCR3(mode uint64) uint64 {
+	if mode == 0 {
+		return m.lowRoot | pcidLow
+	}
+	return m.highRoot | pcidHigh
+}
+
+// install maps hostVA -> hpa in the root for mode, with the given
+// writable/user bits. It walks the 4-level host tables, allocating
+// intermediate tables from the pool.
+func (m *hostMMU) install(mode uint64, hostVA, hpa uint64, writable, user bool) {
+	root := m.lowRoot
+	if mode != 0 {
+		root = m.highRoot
+	}
+	table := root
+	for level := 3; level >= 1; level-- {
+		idx := hostVA >> (vx64.PageShift + 9*uint(level)) & 0x1FF
+		pteAddr := table + idx*8
+		pte := m.phys.R64(pteAddr)
+		if pte&vx64.PTEPresent == 0 {
+			next := m.allocTable()
+			// allocTable may have reset the pool, which clears the
+			// roots; restart the walk in that case.
+			if m.phys.R64(pteAddr) != pte {
+				m.install(mode, hostVA, hpa, writable, user)
+				return
+			}
+			m.phys.W64(pteAddr, next|vx64.PTEPresent|vx64.PTEWrite|vx64.PTEUser)
+			table = next
+		} else {
+			table = pte & vx64.PTEAddrMask
+		}
+	}
+	flags := uint64(vx64.PTEPresent)
+	if writable {
+		flags |= vx64.PTEWrite
+	}
+	if user {
+		flags |= vx64.PTEUser
+	}
+	idx := hostVA >> vx64.PageShift & 0x1FF
+	m.phys.W64(table+idx*8, hpa&vx64.PTEAddrMask|flags)
+	if writable {
+		m.installedW[hpa>>vx64.PageShift] = true
+	}
+	m.Installs++
+}
+
+// wasInstalledWritable reports whether the guest physical page has had a
+// writable host mapping since the last reset.
+func (m *hostMMU) wasInstalledWritable(gpaPage uint64) bool {
+	return m.installedW[gpaPage]
+}
+
+// unprotect re-enables writes on every host mapping of a guest physical
+// page after its translations were invalidated. Rather than tracking all
+// VAs mapping the page, the host mappings are rebuilt lazily: clearing the
+// roots is correct and simple, but expensive; instead we just flush the
+// hardware TLB and fix the PTE(s) on the next fault. Here we simply mark
+// the page unprotected; stale read-only PTEs re-fault once and get
+// reinstalled writable.
+func (m *hostMMU) unprotect(gpaPage uint64) {
+	delete(m.protected, gpaPage)
+}
+
+// protectPage marks a guest physical page as containing translated code.
+// Already-installed writable host mappings of it must be downgraded; we take
+// the big hammer (root reset) only when such a mapping could exist.
+func (m *hostMMU) protectPage(gpaPage uint64, hadWritableMapping bool) {
+	m.protected[gpaPage] = true
+	if hadWritableMapping {
+		m.reset()
+	}
+}
+
+// isProtected reports whether a guest physical page is write-protected for
+// SMC detection.
+func (m *hostMMU) isProtected(gpaPage uint64) bool {
+	return m.protected[gpaPage]
+}
+
+// GA64 guest abort helpers shared with the engine.
+
+// guestWalk walks the guest page tables using the engine's physical
+// memory accessor, charging the walk cost to the CPU.
+func (e *Engine) guestWalk(va uint64) ga64.WalkResult {
+	if e.sys.MMUOn() {
+		e.cpu.Stats.Cycles += 4 * vx64.CostGuestWalkStep
+	}
+	return ga64.Walk(e.guestPhysRead64, &e.sys, va)
+}
+
+func (e *Engine) guestPhysRead64(gpa uint64) (uint64, bool) {
+	if gpa+8 > e.vm.Layout.GuestRAMSize {
+		return 0, false
+	}
+	return e.vm.Phys.R64(gpa), true
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"captive/internal/gen"
+	"captive/internal/hvm"
+	"captive/internal/vx64"
+)
+
+// translateBlock runs the four-phase online pipeline of Fig. 8 for one
+// guest basic block: Decode → Translate (generator functions over the
+// invocation DAG) → Register Allocation → Encode, then installs the code in
+// the cache and write-protects the source page for SMC detection.
+func (e *Engine) translateBlock(pc, gpa uint64, el uint8) (*Block, error) {
+	// --- decode (§2.3.1) ---
+	t0 := time.Now()
+	var decs []gen.Decoded
+	undef := false
+	for len(decs) < maxBlockInstrs {
+		ipa := gpa + uint64(4*len(decs))
+		if ipa>>12 != gpa>>12 {
+			break // blocks never span guest physical pages
+		}
+		if ipa+4 > e.vm.Layout.GuestRAMSize {
+			undef = len(decs) == 0
+			break
+		}
+		d, ok := e.module.Decode(uint64(e.vm.Phys.R32(ipa)))
+		if !ok {
+			undef = len(decs) == 0
+			break
+		}
+		decs = append(decs, d)
+		if d.Info.Action.EndsBlock {
+			break
+		}
+	}
+	e.JIT.DecodeTime += time.Since(t0)
+
+	// --- translate (§2.3.2) ---
+	t1 := time.Now()
+	em := newEmitter(e)
+	// Instrumentation prologue: retire-count the block's guest instructions.
+	n := len(decs)
+	if n > 0 {
+		ic := em.newG()
+		em.emit(vx64.Inst{Op: vx64.LOAD64, Rd: ic,
+			M: vx64.Mem{Base: vx64.RSTA, Index: vx64.NoReg, Scale: 1, Disp: hvm.StateICount}})
+		em.emit(vx64.Inst{Op: vx64.ADDri, Rd: ic, Imm: int64(n)})
+		em.emit(vx64.Inst{Op: vx64.STORE64, Rs: ic,
+			M: vx64.Mem{Base: vx64.RSTA, Index: vx64.NoReg, Scale: 1, Disp: hvm.StateICount}})
+	}
+	if undef || n == 0 {
+		// Undefined encoding (or unreadable memory) right at the block
+		// start: raise the guest undefined-instruction exception.
+		em.emit(vx64.Inst{Op: vx64.HELPER, Imm: int64(hUndef)})
+	} else {
+		for _, d := range decs {
+			if err := gen.Translate(d, em); err != nil {
+				return nil, fmt.Errorf("core: translating %s at %#x: %w", d.Info.Name, pc, err)
+			}
+			if !d.Info.Action.WritesPC {
+				em.IncPC(4)
+			}
+		}
+	}
+
+	// Exit epilogue: a chainable TRAP-to-dispatcher region (chain.go).
+	epi := em.coldBlock()
+	em.inBlock(epi, func() {
+		em.emit(vx64.Inst{Op: vx64.TRAP, Imm: dispatchTrapVec})
+		for i := 0; i < epilogueSize-2; i++ {
+			em.emit(vx64.Inst{Op: vx64.NOP})
+		}
+	})
+	em.emitBr(vx64.Inst{Op: vx64.JMP}, epi.id)
+	lir := em.Finalize()
+	e.JIT.TranslateT += time.Since(t1)
+	e.JIT.DAGNodes += em.DAGNodes
+
+	// --- register allocation (§2.3.3) ---
+	t2 := time.Now()
+	alloc, astats, err := allocate(lir)
+	if err != nil {
+		return nil, fmt.Errorf("core: block at %#x: %w", pc, err)
+	}
+	e.JIT.RegallocT += time.Since(t2)
+	e.JIT.DeadInsts += astats.Dead
+	e.JIT.Spills += astats.Spilled
+
+	// --- encode (§2.3.4) ---
+	t3 := time.Now()
+	code, labels, err := encodeLIR(alloc)
+	if err != nil {
+		return nil, fmt.Errorf("core: block at %#x: %w", pc, err)
+	}
+	pa, ok := e.cache.alloc(len(code))
+	if !ok {
+		e.flushTranslations()
+		pa, ok = e.cache.alloc(len(code))
+		if !ok {
+			return nil, fmt.Errorf("core: block of %d bytes exceeds code cache", len(code))
+		}
+	}
+	copy(e.vm.Phys[pa:], code)
+	e.cpu.InvalidateCode(pa, uint64(len(code)))
+	e.JIT.EncodeT += time.Since(t3)
+
+	key := gpa
+	if e.Kind == BackendQEMU {
+		key = pc
+	}
+	blk := &Block{
+		GPA: key, EL: el, PhysPage: gpa >> 12,
+		Entry: hvm.DirectVA(pa), PA: pa, Len: len(code),
+		GuestInstrs: n, CodeBytes: len(code),
+		DirectExit: em.pcWriteConstOnly,
+		Valid:      true,
+	}
+	exit := Exit{EpiPA: pa + uint64(labels[epi.id])}
+	blk.Exits = append(blk.Exits, exit)
+	for _, tp := range blk.Exits[0].trapOffsets() {
+		e.exitByPA[tp] = exitRef{blk: blk, idx: 0}
+	}
+	e.cache.insert(blk)
+
+	// SMC protection: Captive write-protects the source page through the
+	// host MMU (§2.6); the baseline evicts the softmmu write entry for the
+	// page and relies on slow-path dirty tracking.
+	gpaPage := gpa >> 12
+	if e.Kind == BackendQEMU {
+		idx := int(pc >> 12 & (softTLBSize - 1))
+		e.vm.Phys.W64(e.softTLBEntryPA(idx)+softTLBTagW, ^uint64(0))
+	} else if !e.mmu.isProtected(gpaPage) {
+		e.mmu.protectPage(gpaPage, e.mmu.wasInstalledWritable(gpaPage))
+	}
+
+	// Charge the translation work to the simulated clock and update stats.
+	if e.Kind == BackendQEMU {
+		e.cpu.Stats.Cycles += costQJITBase + costQJITPerLIR*uint64(len(alloc))
+	} else {
+		e.cpu.Stats.Cycles += costJITBase + costJITPerLIR*uint64(len(alloc))
+	}
+	e.JIT.Blocks++
+	e.JIT.GuestInstrs += n
+	e.JIT.LIRInsts += len(alloc)
+	e.JIT.CodeBytes += len(code)
+	return blk, nil
+}
+
+// flushTranslations empties the code cache and every structure referring
+// into it.
+func (e *Engine) flushTranslations() {
+	e.cache.flushAll()
+	e.exitByPA = make(map[uint64]exitRef)
+	e.allChained = e.allChained[:0]
+	e.lastExit = nil
+	e.JIT.CacheFlushes++
+	// Protections become stale (no code pages remain).
+	e.mmu.protected = make(map[uint64]bool)
+}
+
+// encodeLIR encodes allocated LIR into machine code, resolving emitter-block
+// branch targets via the label pseudo-instructions (the final patch pass of
+// §2.3.4).
+func encodeLIR(lir []LInst) ([]byte, map[gen.BlockRef]int, error) {
+	var buf []byte
+	labels := make(map[gen.BlockRef]int)
+	type patch struct {
+		immPos int // byte position of the rel32 field
+		end    int // byte position the displacement is relative to
+		target gen.BlockRef
+	}
+	var patches []patch
+	for i := range lir {
+		li := &lir[i]
+		if li.Label {
+			labels[li.Target] = len(buf)
+			continue
+		}
+		if li.I.Dead {
+			continue
+		}
+		start := len(buf)
+		buf = vx64.Encode(buf, &li.I)
+		if li.Target != noTarget {
+			var immPos int
+			switch li.I.Op {
+			case vx64.JCC:
+				immPos = start + 2 // opcode, cond, rel32
+			case vx64.JMP:
+				immPos = start + 1
+			default:
+				return nil, nil, fmt.Errorf("core: target on non-branch %v", li.I.Op)
+			}
+			patches = append(patches, patch{immPos: immPos, end: len(buf), target: li.Target})
+		}
+	}
+	for _, p := range patches {
+		off, ok := labels[p.target]
+		if !ok {
+			return nil, nil, fmt.Errorf("core: unresolved branch target b%d", p.target)
+		}
+		rel := int64(off) - int64(p.end)
+		if rel < -(1<<31) || rel >= 1<<31 {
+			return nil, nil, fmt.Errorf("core: branch displacement overflow")
+		}
+		binary.LittleEndian.PutUint32(buf[p.immPos:], uint32(int32(rel)))
+	}
+	return buf, labels, nil
+}

@@ -1,0 +1,97 @@
+// Package device implements the emulated guest peripherals. In the paper's
+// architecture these live in the KVM-side portion of the hypervisor ("the
+// KVM-based portion of the hypervisor also includes software emulations of
+// guest architectural devices", §2.3); all three engines route MMIO
+// accesses here.
+package device
+
+import "bytes"
+
+// UART register offsets (from ga64.UARTBase).
+const (
+	UARTTx     = 0x00 // write: transmit byte
+	UARTStatus = 0x04 // read: bit0 = tx ready (always set)
+	UARTRx     = 0x08 // read: next input byte, 0 when empty
+)
+
+// Timer register offsets (from ga64.TimerBase).
+const (
+	TimerCount = 0x00 // read: current cycle count
+	TimerCmp   = 0x08 // read/write: compare value for the interrupt line
+	TimerCtrl  = 0x10 // bit0: interrupt enable
+)
+
+// Bus is the MMIO device bus of the guest machine.
+type Bus struct {
+	uartOut bytes.Buffer
+	uartIn  []byte
+
+	TimerCmpVal uint64
+	TimerEnable bool
+
+	// Cycles returns the current virtual time; supplied by the engine.
+	Cycles func() uint64
+
+	// MMIOAccesses counts device accesses for the statistics.
+	MMIOAccesses uint64
+}
+
+// UARTBase-relative and TimerBase-relative dispatch offsets within the
+// device window.
+const (
+	uartOff  = 0x0000
+	timerOff = 0x1000
+)
+
+// Read performs an MMIO read at the given offset within the device window.
+func (b *Bus) Read(off uint64, size uint8) uint64 {
+	b.MMIOAccesses++
+	switch off {
+	case uartOff + UARTStatus:
+		return 1
+	case uartOff + UARTRx:
+		if len(b.uartIn) == 0 {
+			return 0
+		}
+		v := b.uartIn[0]
+		b.uartIn = b.uartIn[1:]
+		return uint64(v)
+	case timerOff + TimerCount:
+		if b.Cycles != nil {
+			return b.Cycles()
+		}
+		return 0
+	case timerOff + TimerCmp:
+		return b.TimerCmpVal
+	case timerOff + TimerCtrl:
+		if b.TimerEnable {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Write performs an MMIO write at the given offset within the device window.
+func (b *Bus) Write(off uint64, size uint8, v uint64) {
+	b.MMIOAccesses++
+	switch off {
+	case uartOff + UARTTx:
+		b.uartOut.WriteByte(byte(v))
+	case timerOff + TimerCmp:
+		b.TimerCmpVal = v
+	case timerOff + TimerCtrl:
+		b.TimerEnable = v&1 != 0
+	}
+}
+
+// Console returns everything the guest has written to the UART.
+func (b *Bus) Console() string { return b.uartOut.String() }
+
+// FeedInput appends bytes to the UART receive queue.
+func (b *Bus) FeedInput(p []byte) { b.uartIn = append(b.uartIn, p...) }
+
+// IRQPending reports whether the timer compare has fired.
+func (b *Bus) IRQPending() bool {
+	return b.TimerEnable && b.Cycles != nil && b.Cycles() >= b.TimerCmpVal
+}

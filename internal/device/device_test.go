@@ -1,0 +1,43 @@
+package device
+
+import "testing"
+
+func TestUART(t *testing.T) {
+	var b Bus
+	for _, ch := range []byte("ok!") {
+		b.Write(UARTTx, 4, uint64(ch))
+	}
+	if b.Console() != "ok!" {
+		t.Errorf("console = %q", b.Console())
+	}
+	if b.Read(UARTStatus, 4) != 1 {
+		t.Error("uart must always report tx-ready")
+	}
+	b.FeedInput([]byte{0x41, 0x42})
+	if b.Read(UARTRx, 1) != 0x41 || b.Read(UARTRx, 1) != 0x42 || b.Read(UARTRx, 1) != 0 {
+		t.Error("rx queue wrong")
+	}
+	if b.MMIOAccesses == 0 {
+		t.Error("accesses not counted")
+	}
+}
+
+func TestTimer(t *testing.T) {
+	var now uint64 = 100
+	b := Bus{Cycles: func() uint64 { return now }}
+	if b.Read(0x1000+TimerCount, 8) != 100 {
+		t.Error("count wrong")
+	}
+	b.Write(0x1000+TimerCmp, 8, 150)
+	b.Write(0x1000+TimerCtrl, 8, 1)
+	if b.IRQPending() {
+		t.Error("irq should not be pending yet")
+	}
+	now = 200
+	if !b.IRQPending() {
+		t.Error("irq should fire at cmp")
+	}
+	if b.Read(0x1000+TimerCmp, 8) != 150 || b.Read(0x1000+TimerCtrl, 8) != 1 {
+		t.Error("timer registers not readable")
+	}
+}

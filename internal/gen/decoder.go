@@ -1,0 +1,124 @@
+package gen
+
+import "fmt"
+
+// The generated decoder is a decision tree over instruction word bits,
+// following Theiling's well-known construction (§2.3.1): at each node the
+// bits that are constrained by *every* remaining candidate are consumed and
+// switched on; candidates that cannot match the observed value are pruned.
+// Leaves verify any residual mask bits and non-equality predicates.
+//
+// The tree is built offline (module generation time) and walked online by
+// the instruction decoders of all three execution engines.
+
+type node struct {
+	// mask selects the bits switched on at this node (0 at leaves).
+	mask     uint64
+	children map[uint64]*node
+	// leaf candidates, tried in declaration order.
+	cands []*InstrInfo
+}
+
+// buildDecoder constructs the decision tree over all instructions.
+func (m *Module) buildDecoder() error {
+	// Detect exact duplicates, which make decoding ambiguous.
+	seen := make(map[[2]uint64]*InstrInfo)
+	for _, in := range m.Instrs {
+		key := [2]uint64{in.Mask, in.Match}
+		if other, ok := seen[key]; ok && in.Pred == nil && other.Pred == nil {
+			return fmt.Errorf("gen: instructions %s and %s have identical decode patterns (mask %#x match %#x)",
+				other.Name, in.Name, in.Mask, in.Match)
+		}
+		seen[key] = in
+	}
+	m.root = buildNode(m.Instrs, 0, 0)
+	return nil
+}
+
+func buildNode(cands []*InstrInfo, consumed uint64, depth int) *node {
+	if len(cands) <= 1 || depth > 16 {
+		return &node{cands: cands}
+	}
+	// Bits constrained by every candidate and not yet consumed.
+	common := ^uint64(0)
+	for _, c := range cands {
+		common &= c.Mask
+	}
+	common &^= consumed
+	if common == 0 {
+		// No discriminating bits left; sequential leaf.
+		return &node{cands: cands}
+	}
+	groups := make(map[uint64][]*InstrInfo)
+	for _, c := range cands {
+		groups[c.Match&common] = append(groups[c.Match&common], c)
+	}
+	if len(groups) == 1 {
+		// The common bits do not discriminate among these candidates;
+		// they will be verified at the leaf.
+		return &node{cands: cands}
+	}
+	n := &node{mask: common, children: make(map[uint64]*node, len(groups))}
+	for key, group := range groups {
+		n.children[key] = buildNode(group, consumed|common, depth+1)
+	}
+	return n
+}
+
+// Decode decodes one instruction word. ok is false for undefined encodings
+// (which the engines turn into guest undefined-instruction exceptions).
+func (m *Module) Decode(word uint64) (Decoded, bool) {
+	n := m.root
+	for n.mask != 0 {
+		child, ok := n.children[word&n.mask]
+		if !ok {
+			return Decoded{}, false
+		}
+		n = child
+	}
+	for _, c := range n.cands {
+		if word&c.Mask != c.Match {
+			continue
+		}
+		d := Decoded{Info: c, Word: word}
+		if c.Pred != nil && !evalWhen(d, c.Pred) {
+			continue
+		}
+		return d, true
+	}
+	return Decoded{}, false
+}
+
+// DecoderStats describes the generated tree (reported by cmd/gensim).
+type DecoderStats struct {
+	Nodes     int
+	Leaves    int
+	MaxDepth  int
+	MaxCands  int // largest sequential leaf
+	TotalInsn int
+}
+
+// Stats computes decoder tree statistics.
+func (m *Module) Stats() DecoderStats {
+	var st DecoderStats
+	st.TotalInsn = len(m.Instrs)
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		st.Nodes++
+		if depth > st.MaxDepth {
+			st.MaxDepth = depth
+		}
+		if n.mask == 0 {
+			st.Leaves++
+			if len(n.cands) > st.MaxCands {
+				st.MaxCands = len(n.cands)
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(m.root, 0)
+	return st
+}

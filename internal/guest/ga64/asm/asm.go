@@ -1,0 +1,628 @@
+// Package asm is a builder-style assembler for GA64 guest programs: the
+// workloads, micro-benchmarks and the mini guest OS are all written against
+// this API. It supports labels with backward and forward references, data
+// emission, and the pseudo-instructions (MOV, MOVI64, CMP aliases) that the
+// regular GA64 encoding does not provide directly.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"captive/internal/guest/ga64"
+)
+
+// Reg is a guest register number (0–31; 31 is SP).
+type Reg = uint32
+
+// SP and LR aliases.
+const (
+	LR Reg = 30
+	SP Reg = 31
+)
+
+type fixup struct {
+	pos   int // word index of the instruction to patch
+	label string
+	kind  uint8 // 'b' = off24, 'c' = off19 (CB), 'd' = off20 (BC), 'a' = adr
+}
+
+// Program is an assembly buffer. Create with New, emit instructions, close
+// with Assemble.
+type Program struct {
+	words  []uint32
+	labels map[string]int // word index
+	fixups []fixup
+	org    uint64
+	err    error
+}
+
+// New creates a program that will be loaded at guest physical/virtual
+// address org.
+func New(org uint64) *Program {
+	return &Program{labels: make(map[string]int), org: org}
+}
+
+// Org returns the program's load address.
+func (p *Program) Org() uint64 { return p.org }
+
+// PC returns the address of the next emitted word.
+func (p *Program) PC() uint64 { return p.org + uint64(len(p.words))*4 }
+
+func (p *Program) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf("asm: "+format, args...)
+	}
+}
+
+func (p *Program) emit(w uint32) *Program {
+	p.words = append(p.words, w)
+	return p
+}
+
+// Label defines a label at the current position.
+func (p *Program) Label(name string) *Program {
+	if _, dup := p.labels[name]; dup {
+		p.fail("label %q redefined", name)
+		return p
+	}
+	p.labels[name] = len(p.words)
+	return p
+}
+
+// Addr returns the absolute address of a defined label (0 before Assemble
+// for forward references — only use after assembly or for backward labels).
+func (p *Program) Addr(name string) uint64 {
+	idx, ok := p.labels[name]
+	if !ok {
+		p.fail("unknown label %q", name)
+		return 0
+	}
+	return p.org + uint64(idx)*4
+}
+
+// Assemble resolves fixups and returns the little-endian image.
+func (p *Program) Assemble() ([]byte, error) {
+	for _, f := range p.fixups {
+		target, ok := p.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", f.label)
+		}
+		delta := target - f.pos // word offset from the instruction itself
+		w := p.words[f.pos]
+		switch f.kind {
+		case 'b':
+			if delta < -(1<<23) || delta >= 1<<23 {
+				return nil, fmt.Errorf("asm: branch to %q out of range (%d words)", f.label, delta)
+			}
+			w |= uint32(delta) & 0xFFFFFF
+		case 'c', 'a':
+			if delta < -(1<<18) || delta >= 1<<18 {
+				return nil, fmt.Errorf("asm: cb/adr to %q out of range (%d words)", f.label, delta)
+			}
+			w |= uint32(delta) & 0x7FFFF
+		case 'd':
+			if delta < -(1<<19) || delta >= 1<<19 {
+				return nil, fmt.Errorf("asm: b.cond to %q out of range (%d words)", f.label, delta)
+			}
+			w |= uint32(delta) & 0xFFFFF
+		}
+		p.words[f.pos] = w
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	out := make([]byte, len(p.words)*4)
+	for i, w := range p.words {
+		binary.LittleEndian.PutUint32(out[i*4:], w)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- register
+
+func (p *Program) r3(op uint32, rd, rn, rm Reg) *Program {
+	return p.emit(ga64.EncR(op, rd, rn, rm, 0, 0))
+}
+
+// Add emits rd = rn + rm.
+func (p *Program) Add(rd, rn, rm Reg) *Program { return p.r3(ga64.OpAddReg, rd, rn, rm) }
+
+// AddShift emits rd = rn + (rm << sh).
+func (p *Program) AddShift(rd, rn, rm Reg, sh uint32) *Program {
+	return p.emit(ga64.EncR(ga64.OpAddReg, rd, rn, rm, sh, 0))
+}
+
+// Sub emits rd = rn - rm.
+func (p *Program) Sub(rd, rn, rm Reg) *Program { return p.r3(ga64.OpSubReg, rd, rn, rm) }
+
+// Adds emits rd = rn + rm, setting flags.
+func (p *Program) Adds(rd, rn, rm Reg) *Program { return p.r3(ga64.OpAddsReg, rd, rn, rm) }
+
+// Subs emits rd = rn - rm, setting flags.
+func (p *Program) Subs(rd, rn, rm Reg) *Program { return p.r3(ga64.OpSubsReg, rd, rn, rm) }
+
+// And emits rd = rn & rm.
+func (p *Program) And(rd, rn, rm Reg) *Program { return p.r3(ga64.OpAndReg, rd, rn, rm) }
+
+// Ands emits rd = rn & rm, setting flags.
+func (p *Program) Ands(rd, rn, rm Reg) *Program { return p.r3(ga64.OpAndsReg, rd, rn, rm) }
+
+// Orr emits rd = rn | rm.
+func (p *Program) Orr(rd, rn, rm Reg) *Program { return p.r3(ga64.OpOrrReg, rd, rn, rm) }
+
+// Eor emits rd = rn ^ rm.
+func (p *Program) Eor(rd, rn, rm Reg) *Program { return p.r3(ga64.OpEorReg, rd, rn, rm) }
+
+// Bic emits rd = rn &^ rm.
+func (p *Program) Bic(rd, rn, rm Reg) *Program { return p.r3(ga64.OpBicReg, rd, rn, rm) }
+
+// Mul emits rd = rn * rm.
+func (p *Program) Mul(rd, rn, rm Reg) *Program { return p.r3(ga64.OpMul, rd, rn, rm) }
+
+// SDiv emits rd = rn / rm (signed; x/0 = 0).
+func (p *Program) SDiv(rd, rn, rm Reg) *Program { return p.r3(ga64.OpSdiv, rd, rn, rm) }
+
+// UDiv emits rd = rn / rm (unsigned; x/0 = 0).
+func (p *Program) UDiv(rd, rn, rm Reg) *Program { return p.r3(ga64.OpUdiv, rd, rn, rm) }
+
+// Lslv emits rd = rn << rm.
+func (p *Program) Lslv(rd, rn, rm Reg) *Program { return p.r3(ga64.OpLslv, rd, rn, rm) }
+
+// Lsrv emits rd = rn >> rm (logical).
+func (p *Program) Lsrv(rd, rn, rm Reg) *Program { return p.r3(ga64.OpLsrv, rd, rn, rm) }
+
+// Asrv emits rd = rn >> rm (arithmetic).
+func (p *Program) Asrv(rd, rn, rm Reg) *Program { return p.r3(ga64.OpAsrv, rd, rn, rm) }
+
+// Madd emits rd = ra + rn*rm.
+func (p *Program) Madd(rd, rn, rm, ra Reg) *Program {
+	return p.emit(ga64.EncR(ga64.OpMadd, rd, rn, rm, ra, 0))
+}
+
+// Msub emits rd = ra - rn*rm.
+func (p *Program) Msub(rd, rn, rm, ra Reg) *Program {
+	return p.emit(ga64.EncR(ga64.OpMsub, rd, rn, rm, ra, 0))
+}
+
+// Csel emits rd = cond ? rn : rm.
+func (p *Program) Csel(rd, rn, rm Reg, cond uint32) *Program {
+	return p.emit(ga64.EncR(ga64.OpCsel, rd, rn, rm, cond, 0))
+}
+
+// Csinc emits rd = cond ? rn : rm+1.
+func (p *Program) Csinc(rd, rn, rm Reg, cond uint32) *Program {
+	return p.emit(ga64.EncR(ga64.OpCsinc, rd, rn, rm, cond, 0))
+}
+
+// Cmp emits a flags-only compare of rn and rm.
+func (p *Program) Cmp(rn, rm Reg) *Program { return p.r3(ga64.OpCmpReg, 0, rn, rm) }
+
+// Tst emits a flags-only AND of rn and rm.
+func (p *Program) Tst(rn, rm Reg) *Program { return p.r3(ga64.OpTstReg, 0, rn, rm) }
+
+// --------------------------------------------------------------- immediate
+
+func (p *Program) immOp(op uint32, rd, rn Reg, imm uint32, what string) *Program {
+	if imm > 0x3FFF {
+		p.fail("%s immediate %d out of range (14-bit)", what, imm)
+	}
+	return p.emit(ga64.EncI(op, rd, rn, imm))
+}
+
+// AddI emits rd = rn + imm (imm 0..16383).
+func (p *Program) AddI(rd, rn Reg, imm uint32) *Program {
+	return p.immOp(ga64.OpAddImm, rd, rn, imm, "add")
+}
+
+// SubI emits rd = rn - imm.
+func (p *Program) SubI(rd, rn Reg, imm uint32) *Program {
+	return p.immOp(ga64.OpSubImm, rd, rn, imm, "sub")
+}
+
+// AddsI emits rd = rn + imm, setting flags.
+func (p *Program) AddsI(rd, rn Reg, imm uint32) *Program {
+	return p.immOp(ga64.OpAddsImm, rd, rn, imm, "adds")
+}
+
+// SubsI emits rd = rn - imm, setting flags.
+func (p *Program) SubsI(rd, rn Reg, imm uint32) *Program {
+	return p.immOp(ga64.OpSubsImm, rd, rn, imm, "subs")
+}
+
+// AndI emits rd = rn & imm.
+func (p *Program) AndI(rd, rn Reg, imm uint32) *Program {
+	return p.immOp(ga64.OpAndImm, rd, rn, imm, "and")
+}
+
+// OrrI emits rd = rn | imm.
+func (p *Program) OrrI(rd, rn Reg, imm uint32) *Program {
+	return p.immOp(ga64.OpOrrImm, rd, rn, imm, "orr")
+}
+
+// EorI emits rd = rn ^ imm.
+func (p *Program) EorI(rd, rn Reg, imm uint32) *Program {
+	return p.immOp(ga64.OpEorImm, rd, rn, imm, "eor")
+}
+
+// Lsl emits rd = rn << sh.
+func (p *Program) Lsl(rd, rn Reg, sh uint32) *Program {
+	return p.emit(ga64.EncI(ga64.OpLslImm, rd, rn, sh&63))
+}
+
+// Lsr emits rd = rn >> sh (logical).
+func (p *Program) Lsr(rd, rn Reg, sh uint32) *Program {
+	return p.emit(ga64.EncI(ga64.OpLsrImm, rd, rn, sh&63))
+}
+
+// Asr emits rd = rn >> sh (arithmetic).
+func (p *Program) Asr(rd, rn Reg, sh uint32) *Program {
+	return p.emit(ga64.EncI(ga64.OpAsrImm, rd, rn, sh&63))
+}
+
+// CmpI emits a flags-only compare of rn with imm.
+func (p *Program) CmpI(rn Reg, imm uint32) *Program {
+	return p.immOp(ga64.OpCmpImm, 0, rn, imm, "cmp")
+}
+
+// Movz emits rd = imm << (hw*16).
+func (p *Program) Movz(rd Reg, imm uint16, hw uint32) *Program {
+	return p.emit(ga64.EncMOVW(ga64.OpMovz, rd, hw, uint32(imm)))
+}
+
+// Movk emits a 16-bit keep-insert at half-word hw.
+func (p *Program) Movk(rd Reg, imm uint16, hw uint32) *Program {
+	return p.emit(ga64.EncMOVW(ga64.OpMovk, rd, hw, uint32(imm)))
+}
+
+// Movn emits rd = ^(imm << (hw*16)).
+func (p *Program) Movn(rd Reg, imm uint16, hw uint32) *Program {
+	return p.emit(ga64.EncMOVW(ga64.OpMovn, rd, hw, uint32(imm)))
+}
+
+// ------------------------------------------------------------------ pseudo
+
+// Mov emits rd = rm (alias of add-immediate 0).
+func (p *Program) Mov(rd, rm Reg) *Program { return p.AddI(rd, rm, 0) }
+
+// MovI loads an arbitrary 64-bit constant with the shortest movz/movk
+// sequence.
+func (p *Program) MovI(rd Reg, v uint64) *Program {
+	if v == 0 {
+		return p.Movz(rd, 0, 0)
+	}
+	first := true
+	for hw := uint32(0); hw < 4; hw++ {
+		half := uint16(v >> (16 * hw))
+		if half == 0 {
+			continue
+		}
+		if first {
+			p.Movz(rd, half, hw)
+			first = false
+		} else {
+			p.Movk(rd, half, hw)
+		}
+	}
+	return p
+}
+
+// MovF loads a float64 constant into FP register vd via a scratch GPR.
+func (p *Program) MovF(vd Reg, scratch Reg, f float64) *Program {
+	p.MovI(scratch, math.Float64bits(f))
+	return p.FmovXG(vd, scratch)
+}
+
+// Neg emits rd = -rm using msub (rd = 0 - rm requires a zero; use
+// movz+sub).
+func (p *Program) Neg(rd, rm Reg, scratch Reg) *Program {
+	p.Movz(scratch, 0, 0)
+	return p.Sub(rd, scratch, rm)
+}
+
+// ------------------------------------------------------------------ memory
+
+func (p *Program) memOp(op uint32, rt, rn Reg, off int32, what string) *Program {
+	if off < -(1<<13) || off >= 1<<13 {
+		p.fail("%s offset %d out of range (signed 14-bit)", what, off)
+	}
+	return p.emit(ga64.EncM(op, rt, rn, off))
+}
+
+// Ldr emits rt = mem64[rn+off].
+func (p *Program) Ldr(rt, rn Reg, off int32) *Program {
+	return p.memOp(ga64.OpLdr64, rt, rn, off, "ldr")
+}
+
+// Ldr32 emits rt = zext(mem32[rn+off]).
+func (p *Program) Ldr32(rt, rn Reg, off int32) *Program {
+	return p.memOp(ga64.OpLdr32, rt, rn, off, "ldr32")
+}
+
+// Ldr16 emits rt = zext(mem16[rn+off]).
+func (p *Program) Ldr16(rt, rn Reg, off int32) *Program {
+	return p.memOp(ga64.OpLdr16, rt, rn, off, "ldr16")
+}
+
+// Ldrb emits rt = zext(mem8[rn+off]).
+func (p *Program) Ldrb(rt, rn Reg, off int32) *Program {
+	return p.memOp(ga64.OpLdr8, rt, rn, off, "ldrb")
+}
+
+// Ldrsb emits rt = sext(mem8[rn+off]).
+func (p *Program) Ldrsb(rt, rn Reg, off int32) *Program {
+	return p.memOp(ga64.OpLdrs8, rt, rn, off, "ldrsb")
+}
+
+// Ldrsw emits rt = sext(mem32[rn+off]).
+func (p *Program) Ldrsw(rt, rn Reg, off int32) *Program {
+	return p.memOp(ga64.OpLdrs32, rt, rn, off, "ldrsw")
+}
+
+// Str emits mem64[rn+off] = rt.
+func (p *Program) Str(rt, rn Reg, off int32) *Program {
+	return p.memOp(ga64.OpStr64, rt, rn, off, "str")
+}
+
+// Str32 emits mem32[rn+off] = rt.
+func (p *Program) Str32(rt, rn Reg, off int32) *Program {
+	return p.memOp(ga64.OpStr32, rt, rn, off, "str32")
+}
+
+// Str16 emits mem16[rn+off] = rt.
+func (p *Program) Str16(rt, rn Reg, off int32) *Program {
+	return p.memOp(ga64.OpStr16, rt, rn, off, "str16")
+}
+
+// Strb emits mem8[rn+off] = rt.
+func (p *Program) Strb(rt, rn Reg, off int32) *Program {
+	return p.memOp(ga64.OpStr8, rt, rn, off, "strb")
+}
+
+// LdrR emits rt = mem64[rn + (rm<<sh)].
+func (p *Program) LdrR(rt, rn, rm Reg, sh uint32) *Program {
+	return p.emit(ga64.EncR(ga64.OpLdr64R, rt, rn, rm, sh, 0))
+}
+
+// StrR emits mem64[rn + (rm<<sh)] = rt.
+func (p *Program) StrR(rt, rn, rm Reg, sh uint32) *Program {
+	return p.emit(ga64.EncR(ga64.OpStr64R, rt, rn, rm, sh, 0))
+}
+
+// LdrbR emits rt = mem8[rn + (rm<<sh)].
+func (p *Program) LdrbR(rt, rn, rm Reg, sh uint32) *Program {
+	return p.emit(ga64.EncR(ga64.OpLdr8R, rt, rn, rm, sh, 0))
+}
+
+// StrbR emits mem8[rn + (rm<<sh)] = rt.
+func (p *Program) StrbR(rt, rn, rm Reg, sh uint32) *Program {
+	return p.emit(ga64.EncR(ga64.OpStr8R, rt, rn, rm, sh, 0))
+}
+
+// Ldr32R emits rt = mem32[rn + (rm<<sh)].
+func (p *Program) Ldr32R(rt, rn, rm Reg, sh uint32) *Program {
+	return p.emit(ga64.EncR(ga64.OpLdr32R, rt, rn, rm, sh, 0))
+}
+
+// Str32R emits mem32[rn + (rm<<sh)] = rt.
+func (p *Program) Str32R(rt, rn, rm Reg, sh uint32) *Program {
+	return p.emit(ga64.EncR(ga64.OpStr32R, rt, rn, rm, sh, 0))
+}
+
+// Ldp emits rt, rt2 = mem64[rn+off*8], mem64[rn+off*8+8].
+func (p *Program) Ldp(rt, rt2, rn Reg, off8 int32) *Program {
+	if off8 < -(1<<8) || off8 >= 1<<8 {
+		p.fail("ldp offset %d out of range", off8)
+	}
+	return p.emit(ga64.EncP(ga64.OpLdp, rt, rt2, rn, off8))
+}
+
+// Stp emits mem64[rn+off*8], mem64[rn+off*8+8] = rt, rt2.
+func (p *Program) Stp(rt, rt2, rn Reg, off8 int32) *Program {
+	if off8 < -(1<<8) || off8 >= 1<<8 {
+		p.fail("stp offset %d out of range", off8)
+	}
+	return p.emit(ga64.EncP(ga64.OpStp, rt, rt2, rn, off8))
+}
+
+// ------------------------------------------------------------------ vector
+
+// VAdd2D emits elementwise integer add of V registers.
+func (p *Program) VAdd2D(vd, vn, vm Reg) *Program { return p.r3(ga64.OpVadd2D, vd, vn, vm) }
+
+// VFAdd2D emits elementwise f64 add.
+func (p *Program) VFAdd2D(vd, vn, vm Reg) *Program { return p.r3(ga64.OpVfadd2D, vd, vn, vm) }
+
+// VFMul2D emits elementwise f64 multiply.
+func (p *Program) VFMul2D(vd, vn, vm Reg) *Program { return p.r3(ga64.OpVfmul2D, vd, vn, vm) }
+
+// Vld1 loads 128 bits into vt.
+func (p *Program) Vld1(vt, rn Reg, off int32) *Program {
+	return p.memOp(ga64.OpVld1, vt, rn, off, "vld1")
+}
+
+// Vst1 stores 128 bits from vt.
+func (p *Program) Vst1(vt, rn Reg, off int32) *Program {
+	return p.memOp(ga64.OpVst1, vt, rn, off, "vst1")
+}
+
+// ------------------------------------------------------------------ branch
+
+// B branches unconditionally to a label.
+func (p *Program) B(label string) *Program {
+	p.fixups = append(p.fixups, fixup{pos: len(p.words), label: label, kind: 'b'})
+	return p.emit(ga64.EncB(ga64.OpB, 0))
+}
+
+// BL branches and links (X30 = return address).
+func (p *Program) BL(label string) *Program {
+	p.fixups = append(p.fixups, fixup{pos: len(p.words), label: label, kind: 'b'})
+	return p.emit(ga64.EncB(ga64.OpBL, 0))
+}
+
+// Cbz branches to label when rt == 0.
+func (p *Program) Cbz(rt Reg, label string) *Program {
+	p.fixups = append(p.fixups, fixup{pos: len(p.words), label: label, kind: 'c'})
+	return p.emit(ga64.EncCB(ga64.OpCbz, rt, 0))
+}
+
+// Cbnz branches to label when rt != 0.
+func (p *Program) Cbnz(rt Reg, label string) *Program {
+	p.fixups = append(p.fixups, fixup{pos: len(p.words), label: label, kind: 'c'})
+	return p.emit(ga64.EncCB(ga64.OpCbnz, rt, 0))
+}
+
+// BCond emits a conditional branch (ga64.CondEQ etc.).
+func (p *Program) BCond(cond uint32, label string) *Program {
+	p.fixups = append(p.fixups, fixup{pos: len(p.words), label: label, kind: 'd'})
+	return p.emit(ga64.EncBC(ga64.OpBCond, cond, 0))
+}
+
+// Adr loads the address of a label (PC-relative).
+func (p *Program) Adr(rt Reg, label string) *Program {
+	p.fixups = append(p.fixups, fixup{pos: len(p.words), label: label, kind: 'a'})
+	return p.emit(ga64.EncCB(ga64.OpAdr, rt, 0))
+}
+
+// BNext branches to the immediately following instruction: a no-op in
+// control-flow terms that ends the translation block (used by the
+// code-generation micro-benchmarks).
+func (p *Program) BNext() *Program { return p.emit(ga64.EncB(ga64.OpB, 1)) }
+
+// Br branches to the address in rn.
+func (p *Program) Br(rn Reg) *Program { return p.emit(ga64.EncR(ga64.OpBr, 0, rn, 0, 0, 0)) }
+
+// Blr branches-and-links to the address in rn.
+func (p *Program) Blr(rn Reg) *Program { return p.emit(ga64.EncR(ga64.OpBlr, 0, rn, 0, 0, 0)) }
+
+// Ret returns via X30.
+func (p *Program) Ret() *Program { return p.emit(ga64.EncR(ga64.OpRet, 0, LR, 0, 0, 0)) }
+
+// ---------------------------------------------------------- floating point
+
+// Fadd emits vd = vn + vm.
+func (p *Program) Fadd(vd, vn, vm Reg) *Program { return p.r3(ga64.OpFadd, vd, vn, vm) }
+
+// Fsub emits vd = vn - vm.
+func (p *Program) Fsub(vd, vn, vm Reg) *Program { return p.r3(ga64.OpFsub, vd, vn, vm) }
+
+// Fmul emits vd = vn * vm.
+func (p *Program) Fmul(vd, vn, vm Reg) *Program { return p.r3(ga64.OpFmul, vd, vn, vm) }
+
+// Fdiv emits vd = vn / vm.
+func (p *Program) Fdiv(vd, vn, vm Reg) *Program { return p.r3(ga64.OpFdiv, vd, vn, vm) }
+
+// Fsqrt emits vd = sqrt(vn).
+func (p *Program) Fsqrt(vd, vn Reg) *Program { return p.r3(ga64.OpFsqrt, vd, vn, 0) }
+
+// Fneg emits vd = -vn.
+func (p *Program) Fneg(vd, vn Reg) *Program { return p.r3(ga64.OpFneg, vd, vn, 0) }
+
+// Fabs emits vd = |vn|.
+func (p *Program) Fabs(vd, vn Reg) *Program { return p.r3(ga64.OpFabs, vd, vn, 0) }
+
+// Fmin emits vd = min(vn, vm).
+func (p *Program) Fmin(vd, vn, vm Reg) *Program { return p.r3(ga64.OpFmin, vd, vn, vm) }
+
+// Fmax emits vd = max(vn, vm).
+func (p *Program) Fmax(vd, vn, vm Reg) *Program { return p.r3(ga64.OpFmax, vd, vn, vm) }
+
+// Fcmp compares vn and vm into NZCV.
+func (p *Program) Fcmp(vn, vm Reg) *Program { return p.r3(ga64.OpFcmp, 0, vn, vm) }
+
+// Fmov emits vd = vn.
+func (p *Program) Fmov(vd, vn Reg) *Program { return p.r3(ga64.OpFmov, vd, vn, 0) }
+
+// FmovGX moves FP bits to a GPR.
+func (p *Program) FmovGX(rd, vn Reg) *Program { return p.r3(ga64.OpFmovGX, rd, vn, 0) }
+
+// FmovXG moves GPR bits to an FP register.
+func (p *Program) FmovXG(vd, rn Reg) *Program { return p.r3(ga64.OpFmovXG, vd, rn, 0) }
+
+// Scvtf converts a signed integer to f64.
+func (p *Program) Scvtf(vd, rn Reg) *Program { return p.r3(ga64.OpScvtf, vd, rn, 0) }
+
+// Ucvtf converts an unsigned integer to f64.
+func (p *Program) Ucvtf(vd, rn Reg) *Program { return p.r3(ga64.OpUcvtf, vd, rn, 0) }
+
+// Fcvtzs converts f64 to a signed integer (truncating).
+func (p *Program) Fcvtzs(rd, vn Reg) *Program { return p.r3(ga64.OpFcvtzs, rd, vn, 0) }
+
+// Fmadd emits vd = va + vn*vm.
+func (p *Program) Fmadd(vd, vn, vm, va Reg) *Program {
+	return p.emit(ga64.EncR(ga64.OpFmadd, vd, vn, vm, va, 0))
+}
+
+// Fldr loads vt from mem64[rn+off].
+func (p *Program) Fldr(vt, rn Reg, off int32) *Program {
+	return p.memOp(ga64.OpFldr, vt, rn, off, "fldr")
+}
+
+// Fstr stores vt to mem64[rn+off].
+func (p *Program) Fstr(vt, rn Reg, off int32) *Program {
+	return p.memOp(ga64.OpFstr, vt, rn, off, "fstr")
+}
+
+// ------------------------------------------------------------------ system
+
+// Mrs reads a system register.
+func (p *Program) Mrs(rt Reg, sysreg uint32) *Program {
+	return p.emit(ga64.EncS(ga64.OpMrs, rt, sysreg, 0))
+}
+
+// Msr writes a system register.
+func (p *Program) Msr(sysreg uint32, rt Reg) *Program {
+	return p.emit(ga64.EncS(ga64.OpMsr, rt, sysreg, 0))
+}
+
+// Svc raises a supervisor call.
+func (p *Program) Svc(imm uint32) *Program { return p.emit(ga64.EncS(ga64.OpSvc, 0, 0, imm)) }
+
+// Hlt halts the guest machine with a code.
+func (p *Program) Hlt(imm uint32) *Program { return p.emit(ga64.EncS(ga64.OpHlt, 0, 0, imm)) }
+
+// Eret returns from an exception.
+func (p *Program) Eret() *Program { return p.emit(ga64.EncS(ga64.OpEret, 0, 0, 0)) }
+
+// Tlbi invalidates all guest TLB entries.
+func (p *Program) Tlbi() *Program { return p.emit(ga64.EncS(ga64.OpTlbi, 0, 0, 0)) }
+
+// Nop emits a no-op.
+func (p *Program) Nop() *Program { return p.emit(ga64.EncS(ga64.OpNop, 0, 0, 0)) }
+
+// Brk raises a breakpoint (undefined) exception.
+func (p *Program) Brk(imm uint32) *Program { return p.emit(ga64.EncS(ga64.OpBrk, 0, 0, imm)) }
+
+// Wfi waits for interrupt.
+func (p *Program) Wfi() *Program { return p.emit(ga64.EncS(ga64.OpWfi, 0, 0, 0)) }
+
+// -------------------------------------------------------------------- data
+
+// DWord emits a raw 64-bit little-endian value (as two words).
+func (p *Program) DWord(v uint64) *Program {
+	p.emit(uint32(v))
+	return p.emit(uint32(v >> 32))
+}
+
+// Word emits a raw 32-bit value.
+func (p *Program) Word(v uint32) *Program { return p.emit(v) }
+
+// Float emits a float64 constant.
+func (p *Program) Float(f float64) *Program { return p.DWord(math.Float64bits(f)) }
+
+// Space emits n zero words.
+func (p *Program) Space(nWords int) *Program {
+	for i := 0; i < nWords; i++ {
+		p.emit(0)
+	}
+	return p
+}
+
+// AlignTo pads with zero words until the PC is a multiple of bytes.
+func (p *Program) AlignTo(bytes uint64) *Program {
+	for p.PC()%bytes != 0 {
+		p.emit(0)
+	}
+	return p
+}

@@ -1,0 +1,135 @@
+package asm
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"captive/internal/guest/ga64"
+)
+
+func word(t *testing.T, img []byte, i int) uint32 {
+	t.Helper()
+	return binary.LittleEndian.Uint32(img[i*4:])
+}
+
+func TestLabelsForwardBackward(t *testing.T) {
+	p := New(0x1000)
+	p.Label("start")
+	p.B("fwd") // forward reference
+	p.Nop()
+	p.Label("fwd")
+	p.B("start") // backward reference
+	img, err := p.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b fwd: off = +2 words; b start: off = -2 words.
+	if got := word(t, img, 0) & 0xFFFFFF; got != 2 {
+		t.Errorf("forward branch off = %d", got)
+	}
+	minus2 := int32(-2)
+	if got := word(t, img, 2) & 0xFFFFFF; got != uint32(minus2)&0xFFFFFF {
+		t.Errorf("backward branch off = %#x", got)
+	}
+}
+
+func TestMovIShortestSequence(t *testing.T) {
+	cases := []struct {
+		v     uint64
+		words int
+	}{
+		{0, 1},
+		{0xFFFF, 1},
+		{0x10000, 1},    // single movz at hw=1
+		{0x12340000, 1}, // movz hw=1
+		{0x1234FFFF, 2}, // movz + movk
+		{0xFFFFFFFFFFFFFFFF, 4},
+	}
+	for _, c := range cases {
+		p := New(0)
+		p.MovI(0, c.v)
+		img, err := p.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(img)/4 != c.words {
+			t.Errorf("MovI(%#x): %d words, want %d", c.v, len(img)/4, c.words)
+		}
+	}
+}
+
+func TestRangeChecks(t *testing.T) {
+	cases := []func(p *Program){
+		func(p *Program) { p.AddI(0, 0, 1<<14) },
+		func(p *Program) { p.Ldr(0, 1, 1<<13) },
+		func(p *Program) { p.Str(0, 1, -(1<<13)-1) },
+		func(p *Program) { p.Ldp(0, 1, 2, 1<<8) },
+		func(p *Program) { p.CmpI(0, 99999) },
+	}
+	for i, f := range cases {
+		p := New(0)
+		f(p)
+		if _, err := p.Assemble(); err == nil {
+			t.Errorf("case %d: out-of-range operand not rejected", i)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	p := New(0)
+	p.B("nowhere")
+	if _, err := p.Assemble(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("undefined label: %v", err)
+	}
+	p2 := New(0)
+	p2.Label("x")
+	p2.Label("x")
+	if _, err := p2.Assemble(); err == nil || !strings.Contains(err.Error(), "redefined") {
+		t.Errorf("duplicate label: %v", err)
+	}
+}
+
+func TestDataAndAlignment(t *testing.T) {
+	p := New(0x1000)
+	p.Nop()
+	p.AlignTo(0x10)
+	p.Label("data")
+	p.DWord(0x1122334455667788)
+	p.Float(1.5)
+	img, err := p.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Addr("data") != 0x1010 {
+		t.Errorf("aligned label at %#x", p.Addr("data"))
+	}
+	off := int(p.Addr("data") - 0x1000)
+	if binary.LittleEndian.Uint64(img[off:]) != 0x1122334455667788 {
+		t.Error("dword emission wrong")
+	}
+}
+
+func TestEncodingMatchesFormats(t *testing.T) {
+	p := New(0)
+	p.Add(1, 2, 3)
+	p.AddI(4, 5, 100)
+	p.Movz(6, 0xBEEF, 2)
+	p.Svc(42)
+	img, err := p.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if word(t, img, 0) != ga64.EncR(ga64.OpAddReg, 1, 2, 3, 0, 0) {
+		t.Error("add encoding")
+	}
+	if word(t, img, 1) != ga64.EncI(ga64.OpAddImm, 4, 5, 100) {
+		t.Error("addi encoding")
+	}
+	if word(t, img, 2) != ga64.EncMOVW(ga64.OpMovz, 6, 2, 0xBEEF) {
+		t.Error("movz encoding")
+	}
+	if word(t, img, 3) != ga64.EncS(ga64.OpSvc, 0, 0, 42) {
+		t.Error("svc encoding")
+	}
+}

@@ -1,0 +1,169 @@
+package ga64
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestSysExceptionEntryAndReturn(t *testing.T) {
+	var s Sys
+	s.Reset()
+	if s.EL != 1 || s.MMUOn() {
+		t.Fatal("reset state wrong")
+	}
+	s.VBAR = 0x8000
+	// SVC from EL0.
+	s.EL = 0
+	pc := s.TakeException(ECSVC, 42, 0, 0b1010, 0x400004, false)
+	if pc != 0x8000+VecSyncLower {
+		t.Errorf("vector = %#x", pc)
+	}
+	if s.EL != 1 || s.ELR != 0x400004 {
+		t.Errorf("EL=%d ELR=%#x", s.EL, s.ELR)
+	}
+	if s.ESR>>26 != ECSVC || s.ESR&0xFFFF != 42 {
+		t.Errorf("ESR = %#x", s.ESR)
+	}
+	// Return restores EL0 and flags.
+	newPC, nzcv := s.ERet()
+	if newPC != 0x400004 || nzcv != 0b1010 || s.EL != 0 {
+		t.Errorf("eret: pc=%#x nzcv=%04b el=%d", newPC, nzcv, s.EL)
+	}
+}
+
+func TestSysRegPrivilege(t *testing.T) {
+	var s Sys
+	s.Reset()
+	if _, ok := s.ReadReg(SysTTBR0, 0, nil); ok {
+		t.Error("EL0 must not read TTBR0")
+	}
+	if ok := s.WriteReg(SysSCTLR, 1, 0, nil); ok {
+		t.Error("EL0 must not write SCTLR")
+	}
+	if _, ok := s.ReadReg(SysTPIDR, 0, nil); !ok {
+		t.Error("EL0 may read TPIDR")
+	}
+	if ok := s.WriteReg(SysCURRENTEL, 0, 1, nil); ok {
+		t.Error("CURRENTEL is read-only")
+	}
+	// Translation-changing writes invoke the hook.
+	fired := 0
+	h := &Hooks{TranslationChanged: func() { fired++ }}
+	s.WriteReg(SysTTBR0, 0x1000, 1, h)
+	s.WriteReg(SysSCTLR, 1, 1, h)
+	s.WriteReg(SysTPIDR, 7, 1, h)
+	if fired != 2 {
+		t.Errorf("translation hook fired %d times, want 2", fired)
+	}
+}
+
+// memReader builds a PhysRead64 over a flat buffer.
+func memReader(mem []byte) PhysRead64 {
+	return func(pa uint64) (uint64, bool) {
+		if pa+8 > uint64(len(mem)) {
+			return 0, false
+		}
+		return binary.LittleEndian.Uint64(mem[pa:]), true
+	}
+}
+
+func TestGuestWalk(t *testing.T) {
+	mem := make([]byte, 1<<21)
+	put := func(pa, v uint64) { binary.LittleEndian.PutUint64(mem[pa:], v) }
+	var s Sys
+	s.Reset()
+	s.SCTLR = SCTLRMmuEnable
+	s.TTBR0 = 0x10000
+	// 4-level chain for VA 0x400000 -> PA 0x5000 (ro, user).
+	put(0x10000+0*8, 0x11000|PTEValid|PTEWrite|PTEUser) // L3[0]
+	put(0x11000+0*8, 0x12000|PTEValid|PTEWrite|PTEUser) // L2[0]
+	put(0x12000+2*8, 0x13000|PTEValid|PTEWrite|PTEUser) // L1[2] (VA bit 21)
+	put(0x13000+0*8, 0x5000|PTEValid|PTEUser)           // L0[0]: ro page
+
+	w := Walk(memReader(mem), &s, 0x400008)
+	if !w.OK || w.PA != 0x5008 || w.Write || !w.User {
+		t.Fatalf("walk: %+v", w)
+	}
+	if !w.CheckAccess(false, 0) {
+		t.Error("user read must pass")
+	}
+	if w.CheckAccess(true, 1) {
+		t.Error("write to ro page must fail even at EL1")
+	}
+
+	// Unmapped VA fails.
+	if w := Walk(memReader(mem), &s, 0x800000); w.OK {
+		t.Error("unmapped VA must fail")
+	}
+	// Non-canonical top bits fail.
+	if w := Walk(memReader(mem), &s, 0x00F0000000000000); w.OK {
+		t.Error("non-canonical VA must fail")
+	}
+	// High half uses TTBR1.
+	s.TTBR1 = 0x18000
+	put(0x18000+256*8, 0x11000|PTEValid|PTEWrite|PTEUser) // shares the chain
+	hw := Walk(memReader(mem), &s, 0xFFFF800000400008)
+	if !hw.OK || hw.PA != 0x5008 {
+		t.Errorf("high-half walk: %+v", hw)
+	}
+}
+
+func TestGuestWalkBlockEntry(t *testing.T) {
+	mem := make([]byte, 1<<21)
+	put := func(pa, v uint64) { binary.LittleEndian.PutUint64(mem[pa:], v) }
+	var s Sys
+	s.Reset()
+	s.SCTLR = SCTLRMmuEnable
+	s.TTBR0 = 0x10000
+	put(0x10000, 0x11000|PTEValid|PTEWrite|PTEUser)
+	put(0x11000, 0x12000|PTEValid|PTEWrite|PTEUser)
+	put(0x12000, PTEValid|PTEWrite|PTEUser|PTELarge) // 2 MiB block at PA 0
+	w := Walk(memReader(mem), &s, 0x123456)
+	if !w.OK || !w.Block || w.PA != 0x123456 {
+		t.Errorf("block walk: %+v", w)
+	}
+}
+
+func TestWalkMMUOff(t *testing.T) {
+	var s Sys
+	s.Reset()
+	w := Walk(memReader(nil), &s, 0xABC)
+	if !w.OK || w.PA != 0xABC || !w.Write || !w.User {
+		t.Errorf("identity walk: %+v", w)
+	}
+}
+
+func TestAbortHelpers(t *testing.T) {
+	if AbortEC(false, 0) != ECDataAbortLower || AbortEC(true, 1) != ECInsnAbortSame {
+		t.Error("abort EC selection wrong")
+	}
+	iss := AbortISS(true, true)
+	if iss&ISSWrite == 0 || iss&0x3F != ISSTranslation {
+		t.Errorf("iss = %#x", iss)
+	}
+}
+
+func TestEncoders(t *testing.T) {
+	// Field packing round-trips through the module's decoder.
+	m := MustModule()
+	d, ok := m.Decode(uint64(EncR(OpAddReg, 3, 4, 5, 6, 0)))
+	if !ok || d.Info.Name != "add_reg" {
+		t.Fatalf("decode: %v %v", d.Info, ok)
+	}
+	if d.Field("rd") != 3 || d.Field("rn") != 4 || d.Field("rm") != 5 || d.Field("sh") != 6 {
+		t.Error("R-format fields wrong")
+	}
+	d, ok = m.Decode(uint64(EncMOVW(OpMovz, 7, 2, 0xBEEF)))
+	if !ok || d.Info.Name != "movz" || d.Field("imm") != 0xBEEF || d.Field("hw") != 2 {
+		t.Error("MOVW fields wrong")
+	}
+	if _, ok := m.Decode(0xEE000000); ok {
+		t.Error("undefined opcode must not decode")
+	}
+}
+
+func TestIsDevice(t *testing.T) {
+	if !IsDevice(UARTBase) || !IsDevice(TimerBase) || IsDevice(0x1000) || IsDevice(DeviceBase+DeviceSize) {
+		t.Error("device window classification wrong")
+	}
+}

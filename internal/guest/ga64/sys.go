@@ -1,0 +1,199 @@
+package ga64
+
+// System registers, exception levels and the exception model. All three
+// execution engines share this logic; only the mechanism that invokes it
+// differs (helper calls from generated code, direct calls from the
+// interpreter).
+
+// System register indices (the sr field of MRS/MSR).
+const (
+	SysTTBR0     = 0  // translation table base, low half (user)
+	SysTTBR1     = 1  // translation table base, high half (kernel)
+	SysSCTLR     = 2  // system control; bit 0 enables the MMU
+	SysVBAR      = 3  // vector base address
+	SysELR       = 4  // exception link register
+	SysSPSR      = 5  // saved program status (bits 1:0 EL, bits 7:4 NZCV)
+	SysESR       = 6  // exception syndrome (EC<<26 | ISS)
+	SysFAR       = 7  // fault address
+	SysCURRENTEL = 8  // current exception level (read-only)
+	SysTPIDR     = 9  // software thread ID / scratch
+	SysCNTVCT    = 10 // virtual counter (read-only, simulated cycles)
+	SysSCRATCH0  = 11
+	SysSCRATCH1  = 12
+	NumSysRegs   = 16
+)
+
+// SCTLR bits.
+const SCTLRMmuEnable = 1 << 0
+
+// Exception classes (ESR.EC).
+const (
+	ECUndefined      = 0x0E
+	ECSVC            = 0x15
+	ECInsnAbortLower = 0x20 // instruction abort from EL0
+	ECInsnAbortSame  = 0x21
+	ECDataAbortLower = 0x24 // data abort from EL0
+	ECDataAbortSame  = 0x25
+	ECBRK            = 0x3C
+)
+
+// ISS encoding for aborts: low bits fault status, bit 6 = write.
+const (
+	ISSTranslation = 0x04
+	ISSPermission  = 0x0C
+	ISSWrite       = 1 << 6
+)
+
+// Vector table offsets from VBAR.
+const (
+	VecSyncSame  = 0x000 // synchronous exception taken from EL1
+	VecIRQSame   = 0x080
+	VecSyncLower = 0x100 // synchronous exception taken from EL0
+	VecIRQLower  = 0x180
+)
+
+// Sys is the guest system state outside the register file.
+type Sys struct {
+	TTBR0, TTBR1 uint64
+	SCTLR        uint64
+	VBAR         uint64
+	ELR, SPSR    uint64
+	ESR, FAR     uint64
+	TPIDR        uint64
+	Scratch      [2]uint64
+	EL           uint8
+}
+
+// Reset puts the system state into its architectural reset state: EL1, MMU
+// disabled.
+func (s *Sys) Reset() {
+	*s = Sys{EL: 1}
+}
+
+// MMUOn reports whether address translation is enabled.
+func (s *Sys) MMUOn() bool { return s.SCTLR&SCTLRMmuEnable != 0 }
+
+// TakeException performs the architectural exception entry: saves return
+// state, records the syndrome, switches to EL1 and returns the new PC.
+// preferredReturn is the ELR value (faulting instruction for aborts, next
+// instruction for SVC).
+func (s *Sys) TakeException(ec uint8, iss uint32, far uint64, nzcv uint8, preferredReturn uint64, irq bool) (newPC uint64) {
+	fromEL := s.EL
+	s.ELR = preferredReturn
+	s.SPSR = uint64(fromEL)&3 | uint64(nzcv&0xF)<<4
+	s.ESR = uint64(ec)<<26 | uint64(iss)
+	s.FAR = far
+	s.EL = 1
+	off := uint64(VecSyncSame)
+	switch {
+	case irq && fromEL == 0:
+		off = VecIRQLower
+	case irq:
+		off = VecIRQSame
+	case fromEL == 0:
+		off = VecSyncLower
+	}
+	return s.VBAR + off
+}
+
+// ERet performs the architectural exception return: restores EL and NZCV
+// from SPSR and returns the new PC (from ELR).
+func (s *Sys) ERet() (newPC uint64, nzcv uint8) {
+	s.EL = uint8(s.SPSR & 3)
+	if s.EL > 1 {
+		s.EL = 1
+	}
+	return s.ELR, uint8(s.SPSR >> 4 & 0xF)
+}
+
+// Hooks are the runtime services sysreg accesses may need.
+type Hooks struct {
+	// CycleCount returns the current virtual counter value.
+	CycleCount func() uint64
+	// TranslationChanged is invoked when TTBR0/TTBR1/SCTLR writes change
+	// the translation regime (engines must drop cached translations).
+	TranslationChanged func()
+}
+
+// ReadReg reads a system register. ok is false for privilege violations
+// (which the engines turn into undefined-instruction exceptions).
+func (s *Sys) ReadReg(idx uint64, el uint8, h *Hooks) (v uint64, ok bool) {
+	// At EL0 only TPIDR and CNTVCT are readable.
+	if el == 0 && idx != SysTPIDR && idx != SysCNTVCT {
+		return 0, false
+	}
+	switch idx {
+	case SysTTBR0:
+		return s.TTBR0, true
+	case SysTTBR1:
+		return s.TTBR1, true
+	case SysSCTLR:
+		return s.SCTLR, true
+	case SysVBAR:
+		return s.VBAR, true
+	case SysELR:
+		return s.ELR, true
+	case SysSPSR:
+		return s.SPSR, true
+	case SysESR:
+		return s.ESR, true
+	case SysFAR:
+		return s.FAR, true
+	case SysCURRENTEL:
+		return uint64(s.EL), true
+	case SysTPIDR:
+		return s.TPIDR, true
+	case SysCNTVCT:
+		if h != nil && h.CycleCount != nil {
+			return h.CycleCount(), true
+		}
+		return 0, true
+	case SysSCRATCH0:
+		return s.Scratch[0], true
+	case SysSCRATCH1:
+		return s.Scratch[1], true
+	}
+	return 0, false
+}
+
+// WriteReg writes a system register. ok is false for privilege violations
+// or read-only registers.
+func (s *Sys) WriteReg(idx uint64, v uint64, el uint8, h *Hooks) (ok bool) {
+	if el == 0 && idx != SysTPIDR {
+		return false
+	}
+	switch idx {
+	case SysTTBR0:
+		s.TTBR0 = v
+	case SysTTBR1:
+		s.TTBR1 = v
+	case SysSCTLR:
+		s.SCTLR = v
+	case SysVBAR:
+		s.VBAR = v
+	case SysELR:
+		s.ELR = v
+	case SysSPSR:
+		s.SPSR = v
+	case SysESR:
+		s.ESR = v
+	case SysFAR:
+		s.FAR = v
+	case SysTPIDR:
+		s.TPIDR = v
+	case SysSCRATCH0:
+		s.Scratch[0] = v
+	case SysSCRATCH1:
+		s.Scratch[1] = v
+	case SysCURRENTEL, SysCNTVCT:
+		return false
+	default:
+		return false
+	}
+	if idx == SysTTBR0 || idx == SysTTBR1 || idx == SysSCTLR {
+		if h != nil && h.TranslationChanged != nil {
+			h.TranslationChanged()
+		}
+	}
+	return true
+}

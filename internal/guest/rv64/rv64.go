@@ -1,0 +1,207 @@
+// Package rv64 is the RV64I(+M subset) guest model: the retargetability
+// demonstration of §3.3/Table 5. It is generated from the same ADL
+// toolchain as GA64 but, like the paper's non-ARM models, supports
+// user-level execution only: the bundled Machine runs flat-memory programs
+// via the generated decoder and the SSA interpreter, terminating on ecall.
+package rv64
+
+import (
+	_ "embed"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"captive/internal/adl"
+	"captive/internal/gen"
+	"captive/internal/ssa"
+)
+
+//go:embed rv64.adl
+var Source string
+
+var (
+	moduleOnce sync.Once
+	moduleVal  *gen.Module
+	moduleErr  error
+)
+
+// NewModule builds the RV64 module at O4.
+func NewModule() (*gen.Module, error) {
+	moduleOnce.Do(func() {
+		file, err := adl.Parse(Source)
+		if err != nil {
+			moduleErr = err
+			return
+		}
+		reg := ssa.NewRegistry()
+		reg.AddBank(file.Bank("X"), "gpr")
+		reg.AddBank(file.Bank("NZCV"), "flags")
+		moduleVal, moduleErr = gen.Build(file, reg, ssa.O4)
+	})
+	return moduleVal, moduleErr
+}
+
+// Machine is a user-level RV64 machine: flat memory, no privileged state.
+type Machine struct {
+	Module  *gen.Module
+	Mem     []byte
+	RegFile []byte
+	Halted  bool
+	Instrs  uint64
+
+	interp *ssa.Interp
+	fields map[string]uint64
+	wrote  bool
+}
+
+// New creates a machine with the given flat memory size.
+func New(memBytes int) (*Machine, error) {
+	module, err := NewModule()
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Module:  module,
+		Mem:     make([]byte, memBytes),
+		RegFile: make([]byte, module.Layout.Size),
+		interp:  ssa.NewInterp(),
+		fields:  make(map[string]uint64),
+	}, nil
+}
+
+// Reg reads register xN.
+func (m *Machine) Reg(n int) uint64 {
+	b := m.Module.Registry.Bank("X")
+	return binary.LittleEndian.Uint64(m.RegFile[b.Offset+n*b.Stride:])
+}
+
+// SetReg writes register xN (writes to x0 are dropped).
+func (m *Machine) SetReg(n int, v uint64) {
+	if n == 0 {
+		return
+	}
+	b := m.Module.Registry.Bank("X")
+	binary.LittleEndian.PutUint64(m.RegFile[b.Offset+n*b.Stride:], v)
+}
+
+// PC reads the program counter.
+func (m *Machine) PC() uint64 {
+	return binary.LittleEndian.Uint64(m.RegFile[m.Module.Layout.PCOffset:])
+}
+
+// SetPC sets the program counter.
+func (m *Machine) SetPC(v uint64) {
+	binary.LittleEndian.PutUint64(m.RegFile[m.Module.Layout.PCOffset:], v)
+}
+
+// LoadProgram copies code into memory and sets the PC.
+func (m *Machine) LoadProgram(code []byte, addr uint64) error {
+	if addr+uint64(len(code)) > uint64(len(m.Mem)) {
+		return fmt.Errorf("rv64: program exceeds memory")
+	}
+	copy(m.Mem[addr:], code)
+	m.SetPC(addr)
+	return nil
+}
+
+// ReadBank implements ssa.State.
+func (m *Machine) ReadBank(b *ssa.Bank, idx uint64) uint64 {
+	off := b.Offset + int(idx)*b.Stride
+	if b.Stride == 1 {
+		return uint64(m.RegFile[off])
+	}
+	return binary.LittleEndian.Uint64(m.RegFile[off:])
+}
+
+// WriteBank implements ssa.State.
+func (m *Machine) WriteBank(b *ssa.Bank, idx uint64, v uint64) {
+	off := b.Offset + int(idx)*b.Stride
+	if b.Stride == 1 {
+		m.RegFile[off] = uint8(v)
+		return
+	}
+	binary.LittleEndian.PutUint64(m.RegFile[off:], v)
+}
+
+// ReadPC implements ssa.State.
+func (m *Machine) ReadPC() uint64 { return m.PC() }
+
+// WritePC implements ssa.State.
+func (m *Machine) WritePC(v uint64) { m.wrote = true; m.SetPC(v) }
+
+// MemRead implements ssa.State.
+func (m *Machine) MemRead(width uint8, addr uint64) (uint64, bool) {
+	if addr+uint64(width) > uint64(len(m.Mem)) {
+		m.Halted = true // user-level model: wild access terminates
+		return 0, false
+	}
+	switch width {
+	case 1:
+		return uint64(m.Mem[addr]), true
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(m.Mem[addr:])), true
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(m.Mem[addr:])), true
+	default:
+		return binary.LittleEndian.Uint64(m.Mem[addr:]), true
+	}
+}
+
+// MemWrite implements ssa.State.
+func (m *Machine) MemWrite(width uint8, addr uint64, v uint64) bool {
+	if addr+uint64(width) > uint64(len(m.Mem)) {
+		m.Halted = true
+		return false
+	}
+	switch width {
+	case 1:
+		m.Mem[addr] = uint8(v)
+	case 2:
+		binary.LittleEndian.PutUint16(m.Mem[addr:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(m.Mem[addr:], uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(m.Mem[addr:], v)
+	}
+	return true
+}
+
+// Intrinsic implements ssa.State.
+func (m *Machine) Intrinsic(id ssa.IntrID, args []uint64) (uint64, bool) {
+	if v, ok := ssa.PureIntrinsic(id, args); ok {
+		return v, true
+	}
+	if id == ssa.IntrHlt {
+		m.Halted = true
+		return 0, false
+	}
+	return 0, true
+}
+
+// Run executes until ecall/halt or the step limit.
+func (m *Machine) Run(limit uint64) error {
+	for steps := uint64(0); steps < limit && !m.Halted; steps++ {
+		pc := m.PC()
+		if pc+4 > uint64(len(m.Mem)) {
+			return fmt.Errorf("rv64: pc %#x out of memory", pc)
+		}
+		word := binary.LittleEndian.Uint32(m.Mem[pc:])
+		d, ok := m.Module.Decode(uint64(word))
+		if !ok {
+			return fmt.Errorf("rv64: undefined instruction %#08x at %#x", word, pc)
+		}
+		m.Instrs++
+		m.wrote = false
+		okr, err := m.interp.Run(d.Info.Action, d.FieldsInto(m.fields), m)
+		if err != nil {
+			return fmt.Errorf("rv64: at %#x (%s): %w", pc, d.Info.Name, err)
+		}
+		if okr && !m.wrote {
+			m.SetPC(pc + 4)
+		}
+	}
+	if !m.Halted {
+		return fmt.Errorf("rv64: step limit reached at pc %#x", m.PC())
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package rv64
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// RISC-V instruction encoders for tests (real RV64I encodings).
+func encR(f7, rs2, rs1, f3, rd, op uint32) uint32 {
+	return f7<<25 | rs2<<20 | rs1<<15 | f3<<12 | rd<<7 | op
+}
+func encI(imm, rs1, f3, rd, op uint32) uint32 {
+	return imm<<20 | rs1<<15 | f3<<12 | rd<<7 | op
+}
+func encS(imm, rs2, rs1, f3, op uint32) uint32 {
+	return (imm>>5)<<25 | rs2<<20 | rs1<<15 | f3<<12 | (imm&0x1F)<<7 | op
+}
+func encB(imm int32, rs2, rs1, f3, op uint32) uint32 {
+	u := uint32(imm)
+	return (u>>12&1)<<31 | (u>>5&0x3F)<<25 | rs2<<20 | rs1<<15 | f3<<12 |
+		(u>>1&0xF)<<8 | (u>>11&1)<<7 | op
+}
+func encU(imm, rd, op uint32) uint32 { return imm<<12 | rd<<7 | op }
+func encJ(imm int32, rd, op uint32) uint32 {
+	u := uint32(imm)
+	return (u>>20&1)<<31 | (u>>1&0x3FF)<<21 | (u>>11&1)<<20 | (u>>12&0xFF)<<12 | rd<<7 | op
+}
+
+func prog(words ...uint32) []byte {
+	out := make([]byte, len(words)*4)
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(out[i*4:], w)
+	}
+	return out
+}
+
+func run(t *testing.T, words ...uint32) *Machine {
+	t.Helper()
+	m, err := New(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(prog(words...), 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+const ecall = 0x00000073
+
+func TestArithmetic(t *testing.T) {
+	m := run(t,
+		encI(100, 0, 0, 1, 0b0010011),          // addi x1, x0, 100
+		encI(42, 0, 0, 2, 0b0010011),           // addi x2, x0, 42
+		encR(0, 2, 1, 0, 3, 0b0110011),         // add x3, x1, x2
+		encR(0b0100000, 2, 1, 0, 4, 0b0110011), // sub x4, x1, x2
+		encR(1, 2, 1, 0, 5, 0b0110011),         // mul x5, x1, x2
+		encI(0xFFF, 0, 0, 6, 0b0010011),        // addi x6, x0, -1
+		encR(0, 1, 6, 5, 7, 0b0110011),         // srl x7 = -1 >> 100&63
+		ecall,
+	)
+	if m.Reg(3) != 142 || m.Reg(4) != 58 || m.Reg(5) != 4200 {
+		t.Errorf("x3=%d x4=%d x5=%d", m.Reg(3), m.Reg(4), m.Reg(5))
+	}
+	if int64(m.Reg(6)) != -1 {
+		t.Errorf("sign-extended addi: %d", int64(m.Reg(6)))
+	}
+	if m.Reg(7) != ^uint64(0)>>(100&63) {
+		t.Errorf("srl: %#x", m.Reg(7))
+	}
+}
+
+func TestX0Hardwired(t *testing.T) {
+	m := run(t,
+		encI(99, 0, 0, 0, 0b0010011),   // addi x0, x0, 99 (dropped)
+		encR(0, 0, 0, 0, 1, 0b0110011), // add x1, x0, x0
+		ecall,
+	)
+	if m.Reg(0) != 0 || m.Reg(1) != 0 {
+		t.Errorf("x0=%d x1=%d", m.Reg(0), m.Reg(1))
+	}
+}
+
+func TestLoadsStores(t *testing.T) {
+	m := run(t,
+		encU(0x10, 1, 0b0110111),        // lui x1, 0x10 -> 0x10000
+		encI(0x7FF, 0, 0, 2, 0b0010011), // x2 = 2047
+		encS(16, 2, 1, 3, 0b0100011),    // sd x2, 16(x1)
+		encI(16, 1, 3, 3, 0b0000011),    // ld x3, 16(x1)
+		encI(16, 1, 4, 4, 0b0000011),    // lbu x4, 16(x1)
+		encI(0x880, 0, 0, 5, 0b0010011), // x5 = -1920 (sext)
+		encS(24, 5, 1, 0, 0b0100011),    // sb x5, 24(x1)
+		encI(24, 1, 0, 6, 0b0000011),    // lb x6 (sign-extends 0x80)
+		ecall,
+	)
+	if m.Reg(3) != 2047 || m.Reg(4) != 0xFF {
+		t.Errorf("x3=%d x4=%d", m.Reg(3), m.Reg(4))
+	}
+	if int64(m.Reg(6)) != -128 { // 0x80 sign-extended
+		t.Errorf("lb sign extension: %d", int64(m.Reg(6)))
+	}
+}
+
+func TestBranchLoopFibonacci(t *testing.T) {
+	// fib(20) iteratively.
+	m := run(t,
+		encI(0, 0, 0, 1, 0b0010011),  // x1 = 0
+		encI(1, 0, 0, 2, 0b0010011),  // x2 = 1
+		encI(20, 0, 0, 3, 0b0010011), // x3 = 20
+		// loop:
+		encR(0, 2, 1, 0, 4, 0b0110011),  // x4 = x1 + x2
+		encR(0, 0, 2, 0, 1, 0b0110011),  // x1 = x2
+		encR(0, 0, 4, 0, 2, 0b0110011),  // x2 = x4
+		encI(0xFFF, 3, 0, 3, 0b0010011), // x3 -= 1
+		encB(-16, 0, 3, 1, 0b1100011),   // bne x3, x0, loop
+		ecall,
+	)
+	if m.Reg(2) != 10946 {
+		t.Errorf("fib(20) = %d, want 10946", m.Reg(2))
+	}
+}
+
+func TestJalFunctionCall(t *testing.T) {
+	m := run(t,
+		encJ(12, 1, 0b1101111),       // jal x1, +12 (skip 2 instrs)
+		encI(7, 0, 0, 5, 0b0010011),  // x5 = 7 (return lands here)
+		ecall,                        //
+		encI(99, 0, 0, 6, 0b0010011), // target: x6 = 99
+		encI(0, 1, 0, 0, 0b1100111),  // jalr x0, 0(x1): return
+	)
+	if m.Reg(6) != 99 || m.Reg(5) != 7 {
+		t.Errorf("x6=%d x5=%d", m.Reg(6), m.Reg(5))
+	}
+}
+
+func TestShiftsAndSlt(t *testing.T) {
+	m := run(t,
+		encI(1, 0, 0, 1, 0b0010011),        // x1 = 1
+		encI(63, 1, 1, 2, 0b0010011),       // slli x2, x1, 63
+		encI(0x400|63, 2, 5, 3, 0b0010011), // srai x3, x2, 63 -> -1
+		encI(63, 2, 5, 4, 0b0010011),       // srli x4, x2, 63 -> 1
+		encR(0, 1, 3, 2, 5, 0b0110011),     // slt x5, x3(-1), x1(1) -> 1
+		encR(0, 1, 3, 3, 6, 0b0110011),     // sltu x6, x3(max), x1 -> 0
+		ecall,
+	)
+	if m.Reg(2) != 1<<63 || int64(m.Reg(3)) != -1 || m.Reg(4) != 1 {
+		t.Errorf("shifts: %#x %d %d", m.Reg(2), int64(m.Reg(3)), m.Reg(4))
+	}
+	if m.Reg(5) != 1 || m.Reg(6) != 0 {
+		t.Errorf("slt/sltu: %d %d", m.Reg(5), m.Reg(6))
+	}
+}
+
+func TestModuleStats(t *testing.T) {
+	module, err := NewModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(module.Instrs) < 35 {
+		t.Errorf("expected >= 35 instructions, got %d", len(module.Instrs))
+	}
+	if module.InstBits != 32 {
+		t.Errorf("InstBits = %d", module.InstBits)
+	}
+}

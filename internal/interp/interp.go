@@ -1,0 +1,348 @@
+// Package interp is the reference execution engine: a full-system guest
+// interpreter driven directly by the generated decoder and the SSA
+// behaviours of the architecture model. It is the golden model the two DBT
+// engines are differentially tested against, and the slowest but simplest
+// of the three engines.
+package interp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"captive/internal/device"
+	"captive/internal/gen"
+	"captive/internal/guest/ga64"
+	"captive/internal/ssa"
+)
+
+// Machine is an interpreted GA64 guest machine.
+type Machine struct {
+	Module *gen.Module
+	Mem    []byte // guest physical memory
+	Sys    ga64.Sys
+	Bus    device.Bus
+
+	// RegFile is the guest register file, laid out per the module layout.
+	RegFile []byte
+
+	// Halted and ExitCode are set by the guest hlt instruction.
+	Halted   bool
+	ExitCode uint64
+
+	// Instrs counts executed guest instructions.
+	Instrs uint64
+	// Exceptions counts taken guest exceptions.
+	Exceptions uint64
+
+	interp  *ssa.Interp
+	fields  map[string]uint64
+	pending struct {
+		redirect bool
+		pc       uint64
+	}
+	wrotePC bool
+
+	nzcvBank *ssa.Bank
+	hooks    ga64.Hooks
+}
+
+// New creates a machine with the given amount of guest RAM.
+func New(module *gen.Module, ramBytes int) *Machine {
+	m := &Machine{
+		Module:  module,
+		Mem:     make([]byte, ramBytes),
+		RegFile: make([]byte, module.Layout.Size),
+		interp:  ssa.NewInterp(),
+		fields:  make(map[string]uint64),
+	}
+	m.Sys.Reset()
+	m.nzcvBank = module.Registry.Bank("NZCV")
+	m.Bus.Cycles = func() uint64 { return m.Instrs }
+	m.hooks = ga64.Hooks{
+		CycleCount:         func() uint64 { return m.Instrs },
+		TranslationChanged: func() {},
+	}
+	return m
+}
+
+// LoadImage copies a program image into guest physical memory and points the
+// PC at its entry.
+func (m *Machine) LoadImage(data []byte, loadPA, entry uint64) error {
+	if loadPA+uint64(len(data)) > uint64(len(m.Mem)) {
+		return fmt.Errorf("interp: image of %d bytes at %#x exceeds %d bytes of RAM", len(data), loadPA, len(m.Mem))
+	}
+	copy(m.Mem[loadPA:], data)
+	m.SetPC(entry)
+	return nil
+}
+
+// Reg returns guest register Xn.
+func (m *Machine) Reg(n int) uint64 {
+	bank := m.Module.Registry.Bank("X")
+	return binary.LittleEndian.Uint64(m.RegFile[bank.Offset+n*bank.Stride:])
+}
+
+// SetReg sets guest register Xn.
+func (m *Machine) SetReg(n int, v uint64) {
+	bank := m.Module.Registry.Bank("X")
+	binary.LittleEndian.PutUint64(m.RegFile[bank.Offset+n*bank.Stride:], v)
+}
+
+// FReg returns the low half of guest vector register Vn.
+func (m *Machine) FReg(n int) uint64 {
+	bank := m.Module.Registry.Bank("VL")
+	return binary.LittleEndian.Uint64(m.RegFile[bank.Offset+n*bank.Stride:])
+}
+
+// PC returns the guest program counter.
+func (m *Machine) PC() uint64 {
+	return binary.LittleEndian.Uint64(m.RegFile[m.Module.Layout.PCOffset:])
+}
+
+// SetPC sets the guest program counter.
+func (m *Machine) SetPC(v uint64) {
+	binary.LittleEndian.PutUint64(m.RegFile[m.Module.Layout.PCOffset:], v)
+}
+
+// NZCV returns the guest flags nibble.
+func (m *Machine) NZCV() uint8 {
+	return m.RegFile[m.nzcvBank.Offset]
+}
+
+// SetNZCV sets the guest flags nibble.
+func (m *Machine) SetNZCV(v uint8) {
+	m.RegFile[m.nzcvBank.Offset] = v & 0xF
+}
+
+// Console returns the guest's UART output.
+func (m *Machine) Console() string { return m.Bus.Console() }
+
+// physRead64 reads guest physical memory for the page-table walker.
+func (m *Machine) physRead64(pa uint64) (uint64, bool) {
+	if pa+8 > uint64(len(m.Mem)) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(m.Mem[pa:]), true
+}
+
+// takeException routes an exception and redirects the PC.
+func (m *Machine) takeException(ec uint8, iss uint32, far uint64, preferredReturn uint64) {
+	m.Exceptions++
+	newPC := m.Sys.TakeException(ec, iss, far, m.NZCV(), preferredReturn, false)
+	m.pending.redirect = true
+	m.pending.pc = newPC
+}
+
+// translate resolves a guest virtual address, returning ok=false after
+// raising the appropriate abort.
+func (m *Machine) translate(va uint64, write, insn bool) (uint64, bool) {
+	w := ga64.Walk(m.physRead64, &m.Sys, va)
+	if !w.OK {
+		m.takeException(ga64.AbortEC(insn, m.Sys.EL), ga64.AbortISS(true, write), va, m.PC())
+		return 0, false
+	}
+	if !w.CheckAccess(write, m.Sys.EL) {
+		m.takeException(ga64.AbortEC(insn, m.Sys.EL), ga64.AbortISS(false, write), va, m.PC())
+		return 0, false
+	}
+	return w.PA, true
+}
+
+// state adapter: Machine implements ssa.State.
+
+// ReadBank implements ssa.State.
+func (m *Machine) ReadBank(b *ssa.Bank, idx uint64) uint64 {
+	off := b.Offset + int(idx)*b.Stride
+	switch b.Stride {
+	case 1:
+		return uint64(m.RegFile[off])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(m.RegFile[off:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(m.RegFile[off:]))
+	default:
+		return binary.LittleEndian.Uint64(m.RegFile[off:])
+	}
+}
+
+// WriteBank implements ssa.State.
+func (m *Machine) WriteBank(b *ssa.Bank, idx uint64, v uint64) {
+	off := b.Offset + int(idx)*b.Stride
+	switch b.Stride {
+	case 1:
+		m.RegFile[off] = uint8(v)
+	case 2:
+		binary.LittleEndian.PutUint16(m.RegFile[off:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(m.RegFile[off:], uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(m.RegFile[off:], v)
+	}
+}
+
+// ReadPC implements ssa.State.
+func (m *Machine) ReadPC() uint64 { return m.PC() }
+
+// WritePC implements ssa.State.
+func (m *Machine) WritePC(v uint64) {
+	m.wrotePC = true
+	m.SetPC(v)
+}
+
+// MemRead implements ssa.State.
+func (m *Machine) MemRead(width uint8, va uint64) (uint64, bool) {
+	pa, ok := m.translate(va, false, false)
+	if !ok {
+		return 0, false
+	}
+	if ga64.IsDevice(pa) {
+		return m.Bus.Read(pa-ga64.DeviceBase, width), true
+	}
+	if pa+uint64(width) > uint64(len(m.Mem)) {
+		m.takeException(ga64.AbortEC(false, m.Sys.EL), ga64.AbortISS(true, false), va, m.PC())
+		return 0, false
+	}
+	switch width {
+	case 1:
+		return uint64(m.Mem[pa]), true
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(m.Mem[pa:])), true
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(m.Mem[pa:])), true
+	default:
+		return binary.LittleEndian.Uint64(m.Mem[pa:]), true
+	}
+}
+
+// MemWrite implements ssa.State.
+func (m *Machine) MemWrite(width uint8, va uint64, v uint64) bool {
+	pa, ok := m.translate(va, true, false)
+	if !ok {
+		return false
+	}
+	if ga64.IsDevice(pa) {
+		m.Bus.Write(pa-ga64.DeviceBase, width, v)
+		return true
+	}
+	if pa+uint64(width) > uint64(len(m.Mem)) {
+		m.takeException(ga64.AbortEC(false, m.Sys.EL), ga64.AbortISS(true, true), va, m.PC())
+		return false
+	}
+	switch width {
+	case 1:
+		m.Mem[pa] = uint8(v)
+	case 2:
+		binary.LittleEndian.PutUint16(m.Mem[pa:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(m.Mem[pa:], uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(m.Mem[pa:], v)
+	}
+	return true
+}
+
+// Intrinsic implements ssa.State.
+func (m *Machine) Intrinsic(id ssa.IntrID, args []uint64) (uint64, bool) {
+	if v, ok := ssa.PureIntrinsic(id, args); ok {
+		return v, true
+	}
+	switch id {
+	case ssa.IntrSysRead:
+		v, ok := m.Sys.ReadReg(args[0], m.Sys.EL, &m.hooks)
+		if !ok {
+			m.takeException(ga64.ECUndefined, 0, 0, m.PC())
+			return 0, false
+		}
+		return v, true
+	case ssa.IntrSysWrite:
+		if !m.Sys.WriteReg(args[0], args[1], m.Sys.EL, &m.hooks) {
+			m.takeException(ga64.ECUndefined, 0, 0, m.PC())
+			return 0, false
+		}
+		return 0, true
+	case ssa.IntrSVC:
+		m.takeException(ga64.ECSVC, uint32(args[0]), 0, m.PC()+4)
+		return 0, false
+	case ssa.IntrBRK:
+		m.takeException(ga64.ECBRK, uint32(args[0]), 0, m.PC())
+		return 0, false
+	case ssa.IntrERet:
+		newPC, nzcv := m.Sys.ERet()
+		m.SetNZCV(nzcv)
+		m.pending.redirect = true
+		m.pending.pc = newPC
+		return 0, false
+	case ssa.IntrTLBIAll:
+		// The interpreter walks tables on every access: nothing cached.
+		return 0, true
+	case ssa.IntrHlt:
+		m.Halted = true
+		m.ExitCode = args[0]
+		return 0, false
+	case ssa.IntrWFI:
+		// No interrupt sources are pending in the interpreter: treat as
+		// a halt to avoid spinning forever.
+		m.Halted = true
+		m.ExitCode = 0
+		return 0, false
+	}
+	return 0, true
+}
+
+// Step executes one guest instruction. It returns false when the machine
+// has halted.
+func (m *Machine) Step() (bool, error) {
+	if m.Halted {
+		return false, nil
+	}
+	pc := m.PC()
+	pa, ok := m.translate(pc, false, true)
+	if ok {
+		// EL0 instruction fetch also requires the user bit, which
+		// translate checked with write=false; fetch permission equals
+		// read permission in GA64.
+		if pa+4 > uint64(len(m.Mem)) || ga64.IsDevice(pa) {
+			m.takeException(ga64.AbortEC(true, m.Sys.EL), ga64.AbortISS(true, false), pc, pc)
+		} else {
+			word := binary.LittleEndian.Uint32(m.Mem[pa:])
+			d, okd := m.Module.Decode(uint64(word))
+			if !okd {
+				m.takeException(ga64.ECUndefined, 0, 0, pc)
+			} else {
+				m.Instrs++
+				m.wrotePC = false
+				m.pending.redirect = false
+				oki, err := m.interp.Run(d.Info.Action, d.FieldsInto(m.fields), m)
+				if err != nil {
+					return false, fmt.Errorf("interp: at pc %#x (%s): %w", pc, d.Info.Name, err)
+				}
+				if oki && !m.wrotePC {
+					m.SetPC(pc + 4)
+				}
+			}
+		}
+	}
+	if m.pending.redirect {
+		m.SetPC(m.pending.pc)
+		m.pending.redirect = false
+	}
+	return !m.Halted, nil
+}
+
+// Run executes until halt or the step limit; it returns the number of
+// instructions executed. The limit counts steps rather than retired
+// instructions so that exception loops through undecodable memory still
+// terminate.
+func (m *Machine) Run(limit uint64) (uint64, error) {
+	start := m.Instrs
+	for steps := uint64(0); steps < limit; steps++ {
+		alive, err := m.Step()
+		if err != nil {
+			return m.Instrs - start, err
+		}
+		if !alive {
+			return m.Instrs - start, nil
+		}
+	}
+	return m.Instrs - start, fmt.Errorf("interp: step limit %d exceeded at pc %#x", limit, m.PC())
+}

@@ -1,0 +1,182 @@
+// Package perf provides the measurement utilities used by the benchmark
+// harness: cycle/instruction accounting, geometric means, linear regression
+// on log-log data (for the Fig. 21 code-quality plot), and plain-text table
+// rendering matching the rows the paper reports.
+package perf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// HostHz is the simulated host clock (Intel Xeon E5-1620 v3 @ 3.5 GHz,
+// Table 3 of the paper). Cycle counts are converted to seconds with this.
+const HostHz = 3.5e9
+
+// DeciCyclesPerCycle is the cost-model scale factor: VX64 instruction costs
+// are expressed in tenths of a cycle so that superscalar issue (IPC > 1) can
+// be modelled with integer arithmetic.
+const DeciCyclesPerCycle = 10
+
+// Seconds converts a deci-cycle count into simulated wall-clock seconds.
+func Seconds(deciCycles uint64) float64 {
+	return float64(deciCycles) / DeciCyclesPerCycle / HostHz
+}
+
+// GeoMean returns the geometric mean of xs. It returns 0 for an empty slice
+// and ignores non-positive entries (which would otherwise poison the log).
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Speedup returns baseline/subject, the convention used throughout the
+// paper's figures (higher means the subject is faster).
+func Speedup(baseline, subject float64) float64 {
+	if subject == 0 {
+		return 0
+	}
+	return baseline / subject
+}
+
+// LogLogFit fits log10(y) = slope*log10(x) + intercept by least squares.
+// The paper's Fig. 21 plots per-block times for QEMU (y) against Captive (x)
+// and reads the code-quality factor off the regression's vertical shift;
+// Shift is 10^intercept evaluated at slope 1 equivalence, i.e. the average
+// multiplicative gap between y and x.
+type LogLogFit struct {
+	Slope     float64
+	Intercept float64
+	Shift     float64 // geometric mean of y/x: the headline "N× speed-up"
+	N         int
+}
+
+// FitLogLog computes a log-log least-squares fit of y against x. Pairs with
+// non-positive coordinates are skipped.
+func FitLogLog(x, y []float64) LogLogFit {
+	if len(x) != len(y) {
+		panic("perf: FitLogLog length mismatch")
+	}
+	var sx, sy, sxx, sxy float64
+	var ratios []float64
+	n := 0
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			continue
+		}
+		lx, ly := math.Log10(x[i]), math.Log10(y[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		ratios = append(ratios, y[i]/x[i])
+		n++
+	}
+	if n < 2 {
+		return LogLogFit{N: n}
+	}
+	fn := float64(n)
+	slope := (fn*sxy - sx*sy) / (fn*sxx - sx*sx)
+	intercept := (sy - slope*sx) / fn
+	return LogLogFit{
+		Slope:     slope,
+		Intercept: intercept,
+		Shift:     GeoMean(ratios),
+		N:         n,
+	}
+}
+
+// Row is a single result line in a rendered table.
+type Row struct {
+	Name   string
+	Values []float64
+}
+
+// Table renders rows as an aligned plain-text table, the format printed by
+// cmd/bench when regenerating each figure.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// Add appends a row.
+func (t *Table) Add(name string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Name: name, Values: values})
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	nameW := len("benchmark")
+	for _, r := range t.Rows {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", nameW+2, "benchmark")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%16s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", nameW+2, r.Name)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "%16s", formatCell(v))
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func formatCell(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == math.Trunc(v) && av < 1e7:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1000:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Percentiles returns the given percentiles (0..100) of xs.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	if len(xs) == 0 {
+		return make([]float64, len(ps))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		idx := p / 100 * float64(len(s)-1)
+		lo := int(math.Floor(idx))
+		hi := int(math.Ceil(idx))
+		if lo == hi {
+			out[i] = s[lo]
+		} else {
+			frac := idx - float64(lo)
+			out[i] = s[lo]*(1-frac) + s[hi]*frac
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package perf
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("geomean(nil) = %v", g)
+	}
+	if g := GeoMean([]float64{5, -1, 0}); math.Abs(g-5) > 1e-12 {
+		t.Errorf("non-positive entries must be ignored: %v", g)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(10, 5) != 2 || Speedup(1, 0) != 0 {
+		t.Error("speedup convention wrong")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	// 35 deci-cycles = 3.5 cycles = 1ns at 3.5 GHz.
+	if s := Seconds(35); math.Abs(s-1e-9) > 1e-15 {
+		t.Errorf("Seconds(35) = %v", s)
+	}
+}
+
+func TestFitLogLogRecoversFactor(t *testing.T) {
+	// y = 3.44 * x exactly: slope 1, shift 3.44.
+	var xs, ys []float64
+	for x := 10.0; x < 1e6; x *= 3 {
+		xs = append(xs, x)
+		ys = append(ys, 3.44*x)
+	}
+	fit := FitLogLog(xs, ys)
+	if math.Abs(fit.Slope-1) > 1e-9 {
+		t.Errorf("slope = %v", fit.Slope)
+	}
+	if math.Abs(fit.Shift-3.44) > 1e-9 {
+		t.Errorf("shift = %v", fit.Shift)
+	}
+}
+
+func TestQuickFitShiftIsGeomeanOfRatios(t *testing.T) {
+	err := quick.Check(func(seed uint32) bool {
+		r := seed
+		next := func() float64 {
+			r = r*1664525 + 1013904223
+			return 1 + float64(r%100000)
+		}
+		var xs, ys, ratios []float64
+		for i := 0; i < 20; i++ {
+			x := next()
+			k := 1 + float64(i%7)
+			xs = append(xs, x)
+			ys = append(ys, k*x)
+			ratios = append(ratios, k)
+		}
+		fit := FitLogLog(xs, ys)
+		return math.Abs(fit.Shift-GeoMean(ratios)) < 1e-6
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{Title: "demo", Columns: []string{"a", "b"}}
+	tab.Add("row-one", 1.5, 1000)
+	tab.Add("x", 0.125, 3)
+	tab.Notes = append(tab.Notes, "a note")
+	s := tab.String()
+	for _, want := range []string{"== demo ==", "row-one", "1.50", "0.1250", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ps := Percentiles(xs, 0, 50, 100)
+	if ps[0] != 1 || ps[1] != 3 || ps[2] != 5 {
+		t.Errorf("percentiles: %v", ps)
+	}
+	if got := Percentiles(nil, 50); got[0] != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}

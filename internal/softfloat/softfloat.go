@@ -1,0 +1,374 @@
+// Package softfloat implements bit-accurate IEEE-754 binary64 arithmetic
+// with selectable architecture semantics.
+//
+// The numeric results of the basic operations are produced with Go's native
+// float64 arithmetic, which is correctly rounded (round-to-nearest-even) and
+// therefore bit-identical to both the x86-64 SSE2 and the ARMv8 FP units for
+// every non-special input. What actually differs between architectures — and
+// what §2.5 and Table 2 of the paper are about — is the handling of NaNs:
+//
+//   - ARMv8 (FPCR.DN behaviour modelled after Table 2): an input NaN is
+//     propagated with its quiet bit set and its sign preserved; an *invalid*
+//     operation that must generate a fresh NaN (sqrt of a negative, inf-inf,
+//     0×inf, 0/0, inf/inf) produces the positive default NaN
+//     0x7FF8000000000000.
+//   - x86-64 SSE: an input NaN is propagated (first operand preferred) with
+//     its quiet bit set; a generated NaN is the negative "indefinite" QNaN
+//     0xFFF8000000000000. This is why SQRTSD(-0.5) has its sign bit set
+//     while FSQRT(-0.5) does not.
+//
+// The QEMU-style baseline uses the ARM semantics directly (its helper calls
+// are the software float path the paper describes); the Captive engine emits
+// host (x86-semantics) instructions plus the inline fix-up code that makes
+// the result bit-accurate with ARM. The tests in this package pin Table 2.
+package softfloat
+
+import "math"
+
+// Sem selects the architecture whose NaN behaviour an operation follows.
+type Sem int
+
+const (
+	// SemARM follows the ARMv8-A AArch64 FP behaviour (guest semantics).
+	SemARM Sem = iota
+	// SemX86 follows x86-64 SSE scalar behaviour (host semantics).
+	SemX86
+)
+
+// Bit patterns of interest.
+const (
+	// DefaultNaNARM is the ARMv8 default NaN (positive quiet NaN).
+	DefaultNaNARM = 0x7FF8000000000000
+	// IndefiniteNaNX86 is the x86 "QNaN floating-point indefinite".
+	IndefiniteNaNX86 = 0xFFF8000000000000
+
+	signMask  = 0x8000000000000000
+	expMask   = 0x7FF0000000000000
+	fracMask  = 0x000FFFFFFFFFFFFF
+	quietBit  = 0x0008000000000000
+	PosInf    = 0x7FF0000000000000
+	NegInf    = 0xFFF0000000000000
+	PosZero   = 0x0000000000000000
+	NegZero   = 0x8000000000000000
+	MaxInt64F = 0x43E0000000000000 // 2^63 as a float64
+)
+
+// IsNaN reports whether bits encodes any NaN.
+func IsNaN(bits uint64) bool {
+	return bits&expMask == expMask && bits&fracMask != 0
+}
+
+// IsSignalingNaN reports whether bits encodes a signaling NaN.
+func IsSignalingNaN(bits uint64) bool {
+	return IsNaN(bits) && bits&quietBit == 0
+}
+
+// IsInf reports whether bits encodes ±infinity.
+func IsInf(bits uint64) bool {
+	return bits&^uint64(signMask) == PosInf
+}
+
+// IsZero reports whether bits encodes ±0.
+func IsZero(bits uint64) bool {
+	return bits&^uint64(signMask) == 0
+}
+
+// Quiet returns bits with the quiet bit set (a no-op for non-NaNs).
+func Quiet(bits uint64) uint64 {
+	if IsNaN(bits) {
+		return bits | quietBit
+	}
+	return bits
+}
+
+// defaultNaN returns the generated-NaN pattern for sem.
+func defaultNaN(sem Sem) uint64 {
+	if sem == SemX86 {
+		return IndefiniteNaNX86
+	}
+	return DefaultNaNARM
+}
+
+// propagate handles a binary operation with at least one NaN input.
+// Both ARM (DN=0) and x86 SSE propagate an input NaN, quietened, preferring
+// the first operand; ARM prefers a signaling NaN over a quiet one.
+func propagate(a, b uint64, sem Sem) uint64 {
+	if sem == SemARM {
+		if IsSignalingNaN(a) {
+			return Quiet(a)
+		}
+		if IsSignalingNaN(b) {
+			return Quiet(b)
+		}
+	}
+	if IsNaN(a) {
+		return Quiet(a)
+	}
+	return Quiet(b)
+}
+
+func f(bits uint64) float64  { return math.Float64frombits(bits) }
+func bits(v float64) uint64  { return math.Float64bits(v) }
+func sign(bitsv uint64) bool { return bitsv&signMask != 0 }
+
+// Add64 returns a+b under sem.
+func Add64(a, b uint64, sem Sem) uint64 {
+	if IsNaN(a) || IsNaN(b) {
+		return propagate(a, b, sem)
+	}
+	if IsInf(a) && IsInf(b) && sign(a) != sign(b) {
+		return defaultNaN(sem)
+	}
+	return bits(f(a) + f(b))
+}
+
+// Sub64 returns a-b under sem.
+func Sub64(a, b uint64, sem Sem) uint64 {
+	if IsNaN(a) || IsNaN(b) {
+		return propagate(a, b, sem)
+	}
+	if IsInf(a) && IsInf(b) && sign(a) == sign(b) {
+		return defaultNaN(sem)
+	}
+	return bits(f(a) - f(b))
+}
+
+// Mul64 returns a*b under sem.
+func Mul64(a, b uint64, sem Sem) uint64 {
+	if IsNaN(a) || IsNaN(b) {
+		return propagate(a, b, sem)
+	}
+	if (IsInf(a) && IsZero(b)) || (IsZero(a) && IsInf(b)) {
+		return defaultNaN(sem)
+	}
+	return bits(f(a) * f(b))
+}
+
+// Div64 returns a/b under sem.
+func Div64(a, b uint64, sem Sem) uint64 {
+	if IsNaN(a) || IsNaN(b) {
+		return propagate(a, b, sem)
+	}
+	if (IsZero(a) && IsZero(b)) || (IsInf(a) && IsInf(b)) {
+		return defaultNaN(sem)
+	}
+	return bits(f(a) / f(b))
+}
+
+// Sqrt64 returns sqrt(a) under sem. This is the Table 2 operation: for a
+// negative non-NaN, non-(-0) input, ARM produces the positive default NaN
+// while x86 produces the negative indefinite NaN.
+func Sqrt64(a uint64, sem Sem) uint64 {
+	if IsNaN(a) {
+		return propagate(a, a, sem)
+	}
+	if a == NegZero {
+		return NegZero
+	}
+	if sign(a) {
+		return defaultNaN(sem)
+	}
+	return bits(math.Sqrt(f(a)))
+}
+
+// Neg64 returns -a (sign-bit flip; NaNs included, per both architectures).
+func Neg64(a uint64) uint64 { return a ^ signMask }
+
+// Abs64 returns |a| (sign-bit clear).
+func Abs64(a uint64) uint64 { return a &^ uint64(signMask) }
+
+// Min64 returns min(a,b) under sem. ARM FMIN returns the default NaN rules
+// via propagate; for (-0, +0) it returns -0. x86 MINSD famously returns the
+// *second* operand when either input is NaN or when comparing equal values.
+func Min64(a, b uint64, sem Sem) uint64 {
+	if sem == SemX86 {
+		if IsNaN(a) || IsNaN(b) {
+			return b
+		}
+		if f(a) < f(b) {
+			return a
+		}
+		return b
+	}
+	if IsNaN(a) || IsNaN(b) {
+		return propagate(a, b, sem)
+	}
+	if IsZero(a) && IsZero(b) {
+		if sign(a) || sign(b) {
+			return NegZero
+		}
+		return PosZero
+	}
+	if f(a) < f(b) {
+		return a
+	}
+	return b
+}
+
+// Max64 returns max(a,b) under sem, mirroring Min64.
+func Max64(a, b uint64, sem Sem) uint64 {
+	if sem == SemX86 {
+		if IsNaN(a) || IsNaN(b) {
+			return b
+		}
+		if f(a) > f(b) {
+			return a
+		}
+		return b
+	}
+	if IsNaN(a) || IsNaN(b) {
+		return propagate(a, b, sem)
+	}
+	if IsZero(a) && IsZero(b) {
+		if sign(a) && sign(b) {
+			return NegZero
+		}
+		return PosZero
+	}
+	if f(a) > f(b) {
+		return a
+	}
+	return b
+}
+
+// FMA64 returns a*b+c, fused (single rounding), under sem.
+func FMA64(a, b, c uint64, sem Sem) uint64 {
+	if IsNaN(a) || IsNaN(b) || IsNaN(c) {
+		if IsNaN(c) && !IsNaN(a) && !IsNaN(b) {
+			return Quiet(c)
+		}
+		return propagate(a, b, sem)
+	}
+	if (IsInf(a) && IsZero(b)) || (IsZero(a) && IsInf(b)) {
+		return defaultNaN(sem)
+	}
+	p := f(a) * f(b)
+	if math.IsInf(p, 0) && IsInf(c) && (p < 0) != sign(c) {
+		// inf + -inf inside the fused op.
+		if (IsInf(a) || IsInf(b)) && IsInf(c) {
+			return defaultNaN(sem)
+		}
+	}
+	r := math.FMA(f(a), f(b), f(c))
+	if math.IsNaN(r) {
+		return defaultNaN(sem)
+	}
+	return bits(r)
+}
+
+// NZCV flag bits as laid out in the guest flags (bit3=N, bit2=Z, bit1=C, bit0=V).
+const (
+	FlagV = 1 << 0
+	FlagC = 1 << 1
+	FlagZ = 1 << 2
+	FlagN = 1 << 3
+)
+
+// Cmp64 compares a and b and returns ARM FCMP NZCV flags:
+// equal → 0110 (Z|C), less → 1000 (N), greater → 0010 (C),
+// unordered → 0011 (C|V). Both architectures order identically; only the
+// flag register layout differs, and the DBT backends own that mapping.
+func Cmp64(a, b uint64) uint8 {
+	if IsNaN(a) || IsNaN(b) {
+		return FlagC | FlagV
+	}
+	fa, fb := f(a), f(b)
+	switch {
+	case fa == fb:
+		return FlagZ | FlagC
+	case fa < fb:
+		return FlagN
+	default:
+		return FlagC
+	}
+}
+
+// F64ToI64 converts with round-toward-zero. ARM FCVTZS saturates and maps
+// NaN to 0; x86 CVTTSD2SI returns the integer indefinite 0x8000000000000000
+// for NaN and out-of-range inputs.
+func F64ToI64(a uint64, sem Sem) int64 {
+	if IsNaN(a) {
+		if sem == SemARM {
+			return 0
+		}
+		return math.MinInt64
+	}
+	v := f(a)
+	switch {
+	case v >= f(MaxInt64F):
+		if sem == SemARM {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	case v < -f(MaxInt64F):
+		return math.MinInt64
+	default:
+		return int64(math.Trunc(v))
+	}
+}
+
+// F64ToU64 converts with round-toward-zero under ARM FCVTZU semantics
+// (saturating; NaN → 0).
+func F64ToU64(a uint64) uint64 {
+	if IsNaN(a) {
+		return 0
+	}
+	v := f(a)
+	switch {
+	case v <= 0:
+		return 0
+	case v >= 18446744073709551616.0: // 2^64
+		return math.MaxUint64
+	default:
+		return uint64(math.Trunc(v))
+	}
+}
+
+// I64ToF64 converts a signed integer to f64 (correctly rounded; identical on
+// both architectures).
+func I64ToF64(v int64) uint64 { return bits(float64(v)) }
+
+// U64ToF64 converts an unsigned integer to f64.
+func U64ToF64(v uint64) uint64 { return bits(float64(v)) }
+
+// FPOp identifies a floating-point operation for the out-of-line ARM fix-up
+// path. The Captive backend emits the host instruction followed by a cheap
+// "is the result NaN?" test (FCMP x,x; branch if ordered); only when the
+// result is a NaN — the single case where x86 and ARM bit patterns can
+// diverge, per Table 2 — does it take the out-of-line path that recomputes
+// the ARM-accurate result from the saved operands via RecomputeARM.
+type FPOp uint8
+
+// Floating-point operations subject to ARM fix-up.
+const (
+	FPAdd FPOp = iota
+	FPSub
+	FPMul
+	FPDiv
+	FPSqrt
+	FPMin
+	FPMax
+)
+
+// RecomputeARM returns the bit-accurate ARM result for op applied to the
+// original operands. It backs the DBT's fix-up helper (§2.5): the fast path
+// used the host FP unit; this slow path runs only for NaN results.
+func RecomputeARM(op FPOp, a, b uint64) uint64 {
+	switch op {
+	case FPAdd:
+		return Add64(a, b, SemARM)
+	case FPSub:
+		return Sub64(a, b, SemARM)
+	case FPMul:
+		return Mul64(a, b, SemARM)
+	case FPDiv:
+		return Div64(a, b, SemARM)
+	case FPSqrt:
+		return Sqrt64(a, SemARM)
+	case FPMin:
+		return Min64(a, b, SemARM)
+	case FPMax:
+		return Max64(a, b, SemARM)
+	}
+	return DefaultNaNARM
+}

@@ -1,0 +1,317 @@
+package softfloat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// negNaN is a quiet NaN with the sign bit set (the "-NaN" of Table 2).
+const negNaN = 0xFFF8000000000000
+
+// posHalf etc. are handy bit patterns.
+var (
+	posHalf = math.Float64bits(0.5)
+	negHalf = math.Float64bits(-0.5)
+	one     = math.Float64bits(1.0)
+	two     = math.Float64bits(2.0)
+)
+
+// TestTable2SqrtCornerCases pins every row of the paper's Table 2: the
+// behaviour of x86 SQRTSD vs ARM FSQRT on special inputs.
+func TestTable2SqrtCornerCases(t *testing.T) {
+	sqrtHalf := math.Float64bits(math.Sqrt(0.5))
+	rows := []struct {
+		name     string
+		in       uint64
+		x86, arm uint64
+	}{
+		{"0.0", PosZero, PosZero, PosZero},
+		{"-0.0", NegZero, NegZero, NegZero},
+		{"+inf", PosInf, PosInf, PosInf},
+		{"-inf", NegInf, IndefiniteNaNX86, DefaultNaNARM},
+		{"0.5", posHalf, sqrtHalf, sqrtHalf},
+		{"-0.5", negHalf, IndefiniteNaNX86, DefaultNaNARM},
+		{"+NaN", DefaultNaNARM, DefaultNaNARM, DefaultNaNARM},
+		{"-NaN", negNaN, negNaN, negNaN},
+	}
+	for _, row := range rows {
+		if got := Sqrt64(row.in, SemX86); got != row.x86 {
+			t.Errorf("x86 sqrt(%s) = %#016x, want %#016x", row.name, got, row.x86)
+		}
+		if got := Sqrt64(row.in, SemARM); got != row.arm {
+			t.Errorf("arm sqrt(%s) = %#016x, want %#016x", row.name, got, row.arm)
+		}
+		// The fix-up path (host op + NaN-triggered recompute) must land on
+		// the ARM column exactly: this is the property Captive's inline
+		// fix-up code guarantees.
+		host := Sqrt64(row.in, SemX86)
+		fixed := host
+		if IsNaN(host) {
+			fixed = RecomputeARM(FPSqrt, row.in, 0)
+		}
+		if fixed != row.arm {
+			t.Errorf("fixup sqrt(%s) = %#016x, want ARM %#016x", row.name, fixed, row.arm)
+		}
+	}
+}
+
+func TestGeneratedNaNs(t *testing.T) {
+	cases := []struct {
+		name string
+		arm  uint64
+		x86  uint64
+	}{
+		{"inf + -inf", Add64(PosInf, NegInf, SemARM), Add64(PosInf, NegInf, SemX86)},
+		{"inf - inf", Sub64(PosInf, PosInf, SemARM), Sub64(PosInf, PosInf, SemX86)},
+		{"0 * inf", Mul64(PosZero, PosInf, SemARM), Mul64(PosZero, PosInf, SemX86)},
+		{"inf * 0", Mul64(PosInf, NegZero, SemARM), Mul64(PosInf, NegZero, SemX86)},
+		{"0 / 0", Div64(PosZero, NegZero, SemARM), Div64(PosZero, NegZero, SemX86)},
+		{"inf / inf", Div64(NegInf, PosInf, SemARM), Div64(NegInf, PosInf, SemX86)},
+	}
+	for _, c := range cases {
+		if c.arm != DefaultNaNARM {
+			t.Errorf("ARM %s = %#016x, want default NaN", c.name, c.arm)
+		}
+		if c.x86 != IndefiniteNaNX86 {
+			t.Errorf("x86 %s = %#016x, want indefinite NaN", c.name, c.x86)
+		}
+	}
+}
+
+func TestNaNPropagation(t *testing.T) {
+	snan := uint64(0x7FF0000000000001)
+	qnanA := uint64(0x7FF8000000000005)
+	// ARM prefers the signaling NaN even when it is the second operand.
+	if got := Add64(qnanA, snan, SemARM); got != Quiet(snan) {
+		t.Errorf("ARM add(qnan, snan) = %#x, want quieted snan %#x", got, Quiet(snan))
+	}
+	// x86 prefers the first operand.
+	if got := Add64(qnanA, snan, SemX86); got != qnanA {
+		t.Errorf("x86 add(qnan, snan) = %#x, want first qnan %#x", got, qnanA)
+	}
+	// Sign is preserved when propagating.
+	if got := Mul64(negNaN, one, SemARM); got != negNaN {
+		t.Errorf("ARM mul(-NaN, 1) = %#x, want -NaN", got)
+	}
+	// Quieting sets the quiet bit but keeps the payload.
+	if q := Quiet(snan); q != snan|0x0008000000000000 {
+		t.Errorf("Quiet(snan) = %#x", q)
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	if got := Div64(one, PosZero, SemARM); got != PosInf {
+		t.Errorf("1/0 = %#x, want +inf", got)
+	}
+	if got := Div64(one, NegZero, SemARM); got != NegInf {
+		t.Errorf("1/-0 = %#x, want -inf", got)
+	}
+	if got := Div64(math.Float64bits(-3), PosZero, SemX86); got != NegInf {
+		t.Errorf("-3/0 = %#x, want -inf", got)
+	}
+}
+
+func TestCmp64(t *testing.T) {
+	cases := []struct {
+		a, b uint64
+		want uint8
+	}{
+		{one, one, FlagZ | FlagC},
+		{one, two, FlagN},
+		{two, one, FlagC},
+		{DefaultNaNARM, one, FlagC | FlagV},
+		{one, negNaN, FlagC | FlagV},
+		{PosZero, NegZero, FlagZ | FlagC}, // +0 == -0
+		{NegInf, PosInf, FlagN},
+	}
+	for _, c := range cases {
+		if got := Cmp64(c.a, c.b); got != c.want {
+			t.Errorf("Cmp64(%#x, %#x) = %04b, want %04b", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if got := Min64(PosZero, NegZero, SemARM); got != NegZero {
+		t.Errorf("ARM min(+0,-0) = %#x, want -0", got)
+	}
+	if got := Max64(NegZero, PosZero, SemARM); got != PosZero {
+		t.Errorf("ARM max(-0,+0) = %#x, want +0", got)
+	}
+	// x86 MINSD returns the second operand on NaN.
+	if got := Min64(DefaultNaNARM, one, SemX86); got != one {
+		t.Errorf("x86 min(NaN,1) = %#x, want 1", got)
+	}
+	if got := Min64(one, DefaultNaNARM, SemX86); got != DefaultNaNARM {
+		t.Errorf("x86 min(1,NaN) = %#x, want NaN", got)
+	}
+	// ARM propagates.
+	if !IsNaN(Min64(DefaultNaNARM, one, SemARM)) {
+		t.Error("ARM min(NaN,1) should be NaN")
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if got := F64ToI64(math.Float64bits(3.99), SemARM); got != 3 {
+		t.Errorf("fcvtzs(3.99) = %d, want 3", got)
+	}
+	if got := F64ToI64(math.Float64bits(-3.99), SemARM); got != -3 {
+		t.Errorf("fcvtzs(-3.99) = %d, want -3", got)
+	}
+	if got := F64ToI64(DefaultNaNARM, SemARM); got != 0 {
+		t.Errorf("ARM fcvtzs(NaN) = %d, want 0", got)
+	}
+	if got := F64ToI64(DefaultNaNARM, SemX86); got != math.MinInt64 {
+		t.Errorf("x86 cvttsd2si(NaN) = %d, want MinInt64", got)
+	}
+	if got := F64ToI64(math.Float64bits(1e300), SemARM); got != math.MaxInt64 {
+		t.Errorf("ARM fcvtzs(1e300) = %d, want MaxInt64 (saturate)", got)
+	}
+	if got := F64ToI64(math.Float64bits(1e300), SemX86); got != math.MinInt64 {
+		t.Errorf("x86 cvttsd2si(1e300) = %d, want indefinite", got)
+	}
+	if got := F64ToU64(math.Float64bits(-1.5)); got != 0 {
+		t.Errorf("fcvtzu(-1.5) = %d, want 0", got)
+	}
+	if got := I64ToF64(-7); got != math.Float64bits(-7) {
+		t.Errorf("scvtf(-7) = %#x", got)
+	}
+}
+
+// ordinary converts an arbitrary uint64 into a finite, non-NaN float64 bit
+// pattern so property tests exercise the numeric path.
+func ordinary(x uint64) uint64 {
+	if IsNaN(x) || IsInf(x) {
+		return x & 0x7FEFFFFFFFFFFFFF & ^uint64(1<<62)
+	}
+	return x
+}
+
+// TestQuickMatchesNative checks that for ordinary inputs every operation is
+// bit-identical to Go's native float64 arithmetic under both semantics —
+// i.e. the semantics families only ever diverge on NaN production.
+func TestQuickMatchesNative(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 5000}
+	err := quick.Check(func(xa, xb uint64) bool {
+		a, b := ordinary(xa), ordinary(xb)
+		fa, fb := math.Float64frombits(a), math.Float64frombits(b)
+		for _, sem := range []Sem{SemARM, SemX86} {
+			if r := Add64(a, b, sem); !IsNaN(r) && r != math.Float64bits(fa+fb) {
+				return false
+			}
+			if r := Mul64(a, b, sem); !IsNaN(r) && r != math.Float64bits(fa*fb) {
+				return false
+			}
+			if r := Sub64(a, b, sem); !IsNaN(r) && r != math.Float64bits(fa-fb) {
+				return false
+			}
+			if fb != 0 {
+				if r := Div64(a, b, sem); !IsNaN(r) && r != math.Float64bits(fa/fb) {
+					return false
+				}
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFixupEquivalence is the core §2.5 property: host-semantics op +
+// NaN-triggered ARM recompute must equal the ARM-semantics op for *all*
+// inputs, including NaNs and infinities.
+func TestQuickFixupEquivalence(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20000}
+	ops := []struct {
+		op  FPOp
+		bin func(a, b uint64, sem Sem) uint64
+	}{
+		{FPAdd, Add64}, {FPSub, Sub64}, {FPMul, Mul64}, {FPDiv, Div64},
+	}
+	err := quick.Check(func(a, b uint64, sel uint8) bool {
+		o := ops[int(sel)%len(ops)]
+		host := o.bin(a, b, SemX86)
+		fixed := host
+		if IsNaN(host) {
+			fixed = RecomputeARM(o.op, a, b)
+		}
+		return fixed == o.bin(a, b, SemARM)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+	// Sqrt separately (unary).
+	err = quick.Check(func(a uint64) bool {
+		host := Sqrt64(a, SemX86)
+		fixed := host
+		if IsNaN(host) {
+			fixed = RecomputeARM(FPSqrt, a, 0)
+		}
+		return fixed == Sqrt64(a, SemARM)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCmpTotal(t *testing.T) {
+	err := quick.Check(func(a, b uint64) bool {
+		fl := Cmp64(a, b)
+		rev := Cmp64(b, a)
+		if IsNaN(a) || IsNaN(b) {
+			return fl == FlagC|FlagV && rev == FlagC|FlagV
+		}
+		switch fl {
+		case FlagZ | FlagC:
+			return rev == FlagZ|FlagC
+		case FlagN:
+			return rev == FlagC
+		case FlagC:
+			return rev == FlagN
+		}
+		return false
+	}, &quick.Config{MaxCount: 5000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFMA(t *testing.T) {
+	a, b, c := math.Float64bits(3), math.Float64bits(4), math.Float64bits(5)
+	if got := FMA64(a, b, c, SemARM); got != math.Float64bits(17) {
+		t.Errorf("fma(3,4,5) = %#x", got)
+	}
+	if got := FMA64(PosInf, PosZero, one, SemARM); got != DefaultNaNARM {
+		t.Errorf("fma(inf,0,1) = %#x, want default NaN", got)
+	}
+	// Fused vs unfused must differ on a known case (single rounding):
+	// x = 1+2^-29, so x*x = 1+2^-28+2^-58; the product rounds the 2^-58
+	// away, so mul+sub against 1+2^-28 yields 0 while FMA keeps 2^-58.
+	x := math.Float64bits(1 + 0x1p-29)
+	z := math.Float64bits(1 + 0x1p-28)
+	fused := FMA64(x, x, Neg64(z), SemARM)
+	unfused := Sub64(Mul64(x, x, SemARM), z, SemARM)
+	if fused != math.Float64bits(0x1p-58) || unfused != 0 {
+		t.Errorf("fma fusion: fused=%#x unfused=%#x", fused, unfused)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !IsNaN(DefaultNaNARM) || !IsNaN(negNaN) || IsNaN(PosInf) || IsNaN(one) {
+		t.Error("IsNaN misclassifies")
+	}
+	if !IsInf(PosInf) || !IsInf(NegInf) || IsInf(DefaultNaNARM) {
+		t.Error("IsInf misclassifies")
+	}
+	if !IsZero(PosZero) || !IsZero(NegZero) || IsZero(one) {
+		t.Error("IsZero misclassifies")
+	}
+	if !IsSignalingNaN(0x7FF0000000000001) || IsSignalingNaN(DefaultNaNARM) {
+		t.Error("IsSignalingNaN misclassifies")
+	}
+	if Neg64(one) != math.Float64bits(-1) || Abs64(math.Float64bits(-2)) != two {
+		t.Error("Neg64/Abs64 wrong")
+	}
+}

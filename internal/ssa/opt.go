@@ -1,0 +1,717 @@
+package ssa
+
+import "fmt"
+
+// OptLevel selects which offline optimization passes run (Fig. 5). The paper
+// only ships models built at O4 but exposes all levels for the §3.6.1
+// ablation, which we reproduce.
+type OptLevel int
+
+// Optimization levels.
+const (
+	O1 OptLevel = 1
+	O2 OptLevel = 2
+	O3 OptLevel = 3
+	O4 OptLevel = 4
+)
+
+// Optimize runs the offline pass pipeline at the given level until a fixed
+// point is reached, then (re)runs fixedness analysis. Inlining has already
+// happened during lowering (build.go), matching the paper's note that at O1
+// "only function inlining is performed".
+func Optimize(a *Action, level OptLevel) {
+	runFixpoint(a, level)
+	if level >= O4 {
+		// PHI analysis promotes variables into SSA values so that values
+		// propagate across blocks; the cleanup passes then exploit the
+		// propagation, and PHI elimination lowers the remaining phis back
+		// to variables for the generator. The phi passes run once — they
+		// are inverses, so putting them inside the fixpoint loop would
+		// oscillate forever.
+		phiAnalysis(a)
+		phiSimplify(a)
+		runFixpoint(a, level)
+		phiElim(a)
+		runFixpoint(a, level)
+	}
+	AnalyzeFixedness(a)
+	a.EndsBlock, a.WritesPC = computeEndsBlock(a)
+}
+
+func runFixpoint(a *Action, level OptLevel) {
+	type pass struct {
+		name string
+		min  OptLevel
+		run  func(*Action) bool
+	}
+	passes := []pass{
+		{"unreachable-block-elim", O1, unreachableBlockElim},
+		{"control-flow-simplify", O1, controlFlowSimplify},
+		{"jump-threading", O2, jumpThreading},
+		{"block-merging", O1, blockMerging},
+		{"constant-folding", O3, constantFolding},
+		{"value-propagation", O3, valuePropagation},
+		{"load-coalescing", O3, loadCoalescing},
+		{"dead-write-elim", O3, deadWriteElim},
+		{"dead-variable-elim", O1, deadVariableElim},
+		{"dead-code-elim", O1, deadCodeElim},
+	}
+	for iter := 0; ; iter++ {
+		if iter > 64 {
+			panic(fmt.Sprintf("ssa: optimizer did not converge on %s", a.Name))
+		}
+		changed := false
+		for _, p := range passes {
+			if level >= p.min && p.run(a) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// phiSimplify replaces phis whose inputs all agree with that single value.
+func phiSimplify(a *Action) bool {
+	changed := false
+	for _, b := range a.Blocks {
+		var dead []int
+		for i, s := range b.Stmts {
+			if s.Op != OpPhi || len(s.PhiIn) == 0 {
+				continue
+			}
+			var only *Stmt
+			same := true
+			for _, v := range s.PhiIn {
+				if only == nil {
+					only = v
+				} else if only != v {
+					same = false
+					break
+				}
+			}
+			if same && only != nil && only != s {
+				replaceUses(a, s, only)
+				dead = append(dead, i)
+				changed = true
+			}
+		}
+		if len(dead) > 0 {
+			b.Stmts = removeIndices(b.Stmts, dead)
+		}
+	}
+	return changed
+}
+
+// replaceUses substitutes new for old in every statement argument and phi
+// input of the action.
+func replaceUses(a *Action, old, new *Stmt) {
+	for _, b := range a.Blocks {
+		for _, s := range b.Stmts {
+			for i, arg := range s.Args {
+				if arg == old {
+					s.Args[i] = new
+				}
+			}
+			if s.Op == OpPhi {
+				for k, v := range s.PhiIn {
+					if v == old {
+						s.PhiIn[k] = new
+					}
+				}
+			}
+		}
+	}
+}
+
+// unreachableBlockElim removes blocks not reachable from the entry.
+func unreachableBlockElim(a *Action) bool {
+	reached := map[*Block]bool{a.Entry: true}
+	work := []*Block{a.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs() {
+			if !reached[s] {
+				reached[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	if len(reached) == len(a.Blocks) {
+		return false
+	}
+	var kept []*Block
+	for _, b := range a.Blocks {
+		if reached[b] {
+			kept = append(kept, b)
+		}
+	}
+	a.Blocks = kept
+	// Remove phi inputs from deleted predecessors.
+	for _, b := range a.Blocks {
+		for _, s := range b.Stmts {
+			if s.Op == OpPhi {
+				for pred := range s.PhiIn {
+					if !reached[pred] {
+						delete(s.PhiIn, pred)
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// controlFlowSimplify rewrites branches with constant conditions or
+// identical targets into jumps, and selects with constant conditions into
+// their chosen operand.
+func controlFlowSimplify(a *Action) bool {
+	changed := false
+	for _, b := range a.Blocks {
+		for _, s := range b.Stmts {
+			switch s.Op {
+			case OpBranch:
+				if s.Args[0].Op == OpConst {
+					target := s.Targets[1]
+					if s.Args[0].Const != 0 {
+						target = s.Targets[0]
+					}
+					s.Op = OpJump
+					s.Args = nil
+					s.Targets[0], s.Targets[1] = target, nil
+					changed = true
+				} else if s.Targets[0] == s.Targets[1] {
+					s.Op = OpJump
+					s.Args = nil
+					s.Targets[1] = nil
+					changed = true
+				}
+			case OpSelect:
+				if s.Args[0].Op == OpConst {
+					chosen := s.Args[2]
+					if s.Args[0].Const != 0 {
+						chosen = s.Args[1]
+					}
+					replaceUses(a, s, chosen)
+					s.Op = OpConst // neutered; DCE collects it
+					s.Const = 0
+					s.Args = nil
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// jumpThreading redirects edges that pass through empty jump-only blocks.
+func jumpThreading(a *Action) bool {
+	changed := false
+	for _, b := range a.Blocks {
+		if len(b.Stmts) != 1 || b.Stmts[0].Op != OpJump || b == a.Entry {
+			continue
+		}
+		target := b.Stmts[0].Targets[0]
+		if target == b {
+			continue
+		}
+		// A predecessor edge may only be threaded if the target has no
+		// phis (their per-edge values would need merging).
+		if blockHasPhi(target) {
+			continue
+		}
+		for _, p := range a.Blocks {
+			t := p.Terminator()
+			if t == nil || p == b {
+				continue
+			}
+			for i, tb := range t.Targets {
+				if tb == b {
+					t.Targets[i] = target
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func blockHasPhi(b *Block) bool {
+	for _, s := range b.Stmts {
+		if s.Op == OpPhi {
+			return true
+		}
+	}
+	return false
+}
+
+// blockMerging splices a block into its unique predecessor when it is that
+// predecessor's unique successor.
+func blockMerging(a *Action) bool {
+	preds := a.Preds()
+	for _, b := range a.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != OpJump {
+			continue
+		}
+		succ := t.Targets[0]
+		if succ == b || succ == a.Entry || len(preds[succ]) != 1 || blockHasPhi(succ) {
+			continue
+		}
+		// Splice: drop the jump, append successor statements.
+		b.Stmts = b.Stmts[:len(b.Stmts)-1]
+		for _, s := range succ.Stmts {
+			s.Block = b
+		}
+		b.Stmts = append(b.Stmts, succ.Stmts...)
+		succ.Stmts = nil
+		for i, blk := range a.Blocks {
+			if blk == succ {
+				a.Blocks = append(a.Blocks[:i], a.Blocks[i+1:]...)
+				break
+			}
+		}
+		return true // topology changed; recompute preds next round
+	}
+	return false
+}
+
+// constantFolding folds operations on constant operands (constant
+// propagation falls out of value propagation feeding this).
+func constantFolding(a *Action) bool {
+	changed := false
+	for _, b := range a.Blocks {
+		for _, s := range b.Stmts {
+			switch s.Op {
+			case OpBinary:
+				if s.Args[0].Op == OpConst && s.Args[1].Op == OpConst {
+					v := EvalBinary(s.BinOp, s.Args[0].Type, s.Args[0].Const, s.Args[1].Const)
+					s.Op, s.Const, s.Args = OpConst, v, nil
+					changed = true
+				}
+			case OpUnary:
+				if s.Args[0].Op == OpConst {
+					v := EvalUnary(s.UnOp, s.Type, s.Args[0].Const)
+					s.Op, s.Const, s.Args = OpConst, v, nil
+					changed = true
+				}
+			case OpCast:
+				if s.Args[0].Op == OpConst {
+					v := EvalCast(s.Args[0].Const, s.FromType, s.Type)
+					s.Op, s.Const, s.Args = OpConst, v, nil
+					changed = true
+				}
+			case OpIntrinsic:
+				// Pure intrinsics with constant args fold too (rare but
+				// legal: e.g. constant FP immediates materialized via
+				// scvtf in a model).
+				if s.Intr.SideEffect {
+					continue
+				}
+				allConst := len(s.Args) > 0
+				for _, arg := range s.Args {
+					if arg.Op != OpConst {
+						allConst = false
+						break
+					}
+				}
+				if allConst {
+					args := make([]uint64, len(s.Args))
+					for i, arg := range s.Args {
+						args[i] = arg.Const
+					}
+					if v, ok := PureIntrinsic(s.Intr.ID, args); ok {
+						s.Op, s.Const, s.Args, s.Intr = OpConst, Canonicalize(v, s.Type), nil, nil
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// valuePropagation performs in-block forward propagation: a variable read
+// that follows a write (or another read) of the same symbol with no
+// intervening write reuses the known value. Combined with constant folding
+// this implements the paper's Constant Propagation and Value Propagation;
+// cross-block propagation is provided by PHI analysis at O4.
+func valuePropagation(a *Action) bool {
+	changed := false
+	for _, b := range a.Blocks {
+		known := make(map[*Symbol]*Stmt)
+		for _, s := range b.Stmts {
+			switch s.Op {
+			case OpVarWrite:
+				known[s.Sym] = s.Args[0]
+			case OpVarRead:
+				if v, ok := known[s.Sym]; ok && v != s {
+					replaceUses(a, s, v)
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// loadCoalescing reuses the value of a previous read of the same symbol when
+// no intervening write exists (the second read becomes dead and is removed
+// by DCE).
+func loadCoalescing(a *Action) bool {
+	changed := false
+	for _, b := range a.Blocks {
+		lastRead := make(map[*Symbol]*Stmt)
+		for _, s := range b.Stmts {
+			switch s.Op {
+			case OpVarWrite:
+				delete(lastRead, s.Sym)
+			case OpVarRead:
+				if prev, ok := lastRead[s.Sym]; ok {
+					replaceUses(a, s, prev)
+					changed = true
+				} else {
+					lastRead[s.Sym] = s
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// deadWriteElim removes a variable write that is overwritten later in the
+// same block with no intervening read of the symbol.
+func deadWriteElim(a *Action) bool {
+	changed := false
+	for _, b := range a.Blocks {
+		pending := make(map[*Symbol]int) // symbol -> index of unread write
+		var dead []int
+		for i, s := range b.Stmts {
+			switch s.Op {
+			case OpVarRead:
+				delete(pending, s.Sym)
+			case OpVarWrite:
+				if j, ok := pending[s.Sym]; ok {
+					dead = append(dead, j)
+					changed = true
+				}
+				pending[s.Sym] = i
+			}
+		}
+		if len(dead) > 0 {
+			b.Stmts = removeIndices(b.Stmts, dead)
+		}
+	}
+	return changed
+}
+
+// deadVariableElim removes writes to symbols that are never read anywhere.
+func deadVariableElim(a *Action) bool {
+	read := make(map[*Symbol]bool)
+	for _, b := range a.Blocks {
+		for _, s := range b.Stmts {
+			if s.Op == OpVarRead {
+				read[s.Sym] = true
+			}
+		}
+	}
+	changed := false
+	for _, b := range a.Blocks {
+		var dead []int
+		for i, s := range b.Stmts {
+			if s.Op == OpVarWrite && !read[s.Sym] {
+				dead = append(dead, i)
+				changed = true
+			}
+		}
+		if len(dead) > 0 {
+			b.Stmts = removeIndices(b.Stmts, dead)
+		}
+	}
+	if changed {
+		var kept []*Symbol
+		for _, sym := range a.Symbols {
+			if read[sym] {
+				kept = append(kept, sym)
+			}
+		}
+		a.Symbols = kept
+	}
+	return changed
+}
+
+// deadCodeElim removes statements without side effects whose values are
+// never used.
+func deadCodeElim(a *Action) bool {
+	used := make(map[*Stmt]bool)
+	for _, b := range a.Blocks {
+		for _, s := range b.Stmts {
+			for _, arg := range s.Args {
+				used[arg] = true
+			}
+			if s.Op == OpPhi {
+				for _, v := range s.PhiIn {
+					used[v] = true
+				}
+			}
+		}
+	}
+	changed := false
+	for _, b := range a.Blocks {
+		var dead []int
+		for i, s := range b.Stmts {
+			if !s.HasSideEffect() && !used[s] && !s.Terminator() {
+				// A memory read can fault, which is architecturally
+				// observable — it must not be eliminated.
+				if s.Op == OpMemRead {
+					continue
+				}
+				dead = append(dead, i)
+				changed = true
+			}
+		}
+		if len(dead) > 0 {
+			b.Stmts = removeIndices(b.Stmts, dead)
+		}
+	}
+	return changed
+}
+
+func removeIndices(stmts []*Stmt, sorted []int) []*Stmt {
+	out := stmts[:0]
+	di := 0
+	for i, s := range stmts {
+		if di < len(sorted) && sorted[di] == i {
+			di++
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// phiAnalysis promotes symbols to SSA values, inserting phi statements at
+// join points. This enables cross-block constant/value propagation (the
+// values flow through phis which controlFlowSimplify and constantFolding can
+// then collapse when all inputs agree).
+func phiAnalysis(a *Action) bool {
+	if len(a.Symbols) == 0 {
+		return false
+	}
+	preds := a.Preds()
+	// out[b][sym] = SSA value live at the end of b.
+	out := make(map[*Block]map[*Symbol]*Stmt, len(a.Blocks))
+	phis := make(map[*Block]map[*Symbol]*Stmt) // placed phis
+	for _, b := range a.Blocks {
+		out[b] = make(map[*Symbol]*Stmt)
+		phis[b] = make(map[*Symbol]*Stmt)
+	}
+	// Iterate to a fixed point: for each block, the in-value of a symbol is
+	// the unique predecessor out-value, or a phi.
+	undef := &Stmt{ID: -1, Op: OpConst} // sentinel for "no value yet"
+	getOut := func(b *Block, sym *Symbol) *Stmt {
+		if v, ok := out[b][sym]; ok {
+			return v
+		}
+		return undef
+	}
+	for changedIter := true; changedIter; {
+		changedIter = false
+		for _, b := range a.Blocks {
+			in := make(map[*Symbol]*Stmt)
+			for _, sym := range a.Symbols {
+				var v *Stmt
+				if b == a.Entry {
+					v = undef
+				} else {
+					for _, p := range preds[b] {
+						pv := getOut(p, sym)
+						if v == nil {
+							v = pv
+						} else if v != pv {
+							// Conflicting values: need a phi.
+							ph, ok := phis[b][sym]
+							if !ok {
+								ph = &Stmt{ID: a.nextStmtID, Op: OpPhi, Type: sym.Type,
+									Sym: sym, Block: b, PhiIn: make(map[*Block]*Stmt)}
+								a.nextStmtID++
+								phis[b][sym] = ph
+							}
+							v = ph
+						}
+					}
+					if v == nil {
+						v = undef
+					}
+				}
+				in[sym] = v
+			}
+			// Walk the block, tracking current values.
+			cur := in
+			for _, s := range b.Stmts {
+				switch s.Op {
+				case OpVarWrite:
+					cur[s.Sym] = s.Args[0]
+				}
+			}
+			for sym, v := range cur {
+				if getOut(b, sym) != v {
+					out[b][sym] = v
+					changedIter = true
+				}
+			}
+		}
+	}
+	// Check every phi is well-defined (no undef inputs) — symbols read
+	// before any write keep their variable form.
+	promotable := make(map[*Symbol]bool, len(a.Symbols))
+	for _, sym := range a.Symbols {
+		promotable[sym] = true
+	}
+	for _, b := range a.Blocks {
+		for sym, ph := range phis[b] {
+			for _, p := range preds[b] {
+				pv := getOut(p, sym)
+				if pv == undef {
+					promotable[sym] = false
+				}
+				ph.PhiIn[p] = pv
+			}
+		}
+		// Reads reached by undef also block promotion.
+		in := make(map[*Symbol]*Stmt)
+		for _, sym := range a.Symbols {
+			if ph, ok := phis[b][sym]; ok {
+				in[sym] = ph
+			} else if b == a.Entry {
+				in[sym] = undef
+			} else if len(preds[b]) > 0 {
+				in[sym] = getOut(preds[b][0], sym)
+			} else {
+				in[sym] = undef
+			}
+		}
+		for _, s := range b.Stmts {
+			switch s.Op {
+			case OpVarRead:
+				if in[s.Sym] == undef {
+					promotable[s.Sym] = false
+				}
+			case OpVarWrite:
+				in[s.Sym] = s.Args[0]
+			}
+		}
+	}
+	// Phi inputs that are themselves unpromotable phis poison the user.
+	for again := true; again; {
+		again = false
+		for _, b := range a.Blocks {
+			for sym, ph := range phis[b] {
+				if !promotable[sym] {
+					continue
+				}
+				for _, v := range ph.PhiIn {
+					if v.Op == OpPhi && !promotable[v.Sym] {
+						promotable[sym] = false
+						again = true
+					}
+				}
+			}
+		}
+	}
+
+	changed := false
+	// Install phis and rewrite reads/writes for promotable symbols.
+	for _, b := range a.Blocks {
+		var phiList []*Stmt
+		for sym, ph := range phis[b] {
+			if promotable[sym] && len(ph.PhiIn) > 0 {
+				phiList = append(phiList, ph)
+			}
+		}
+		if len(phiList) > 0 {
+			b.Stmts = append(phiList, b.Stmts...)
+			changed = true
+		}
+	}
+	for _, b := range a.Blocks {
+		in := make(map[*Symbol]*Stmt)
+		if b != a.Entry {
+			for _, sym := range a.Symbols {
+				if !promotable[sym] {
+					continue
+				}
+				if ph, ok := phis[b][sym]; ok {
+					in[sym] = ph
+				} else if len(preds[b]) > 0 {
+					in[sym] = getOut(preds[b][0], sym)
+				}
+			}
+		}
+		var dead []int
+		for i, s := range b.Stmts {
+			switch s.Op {
+			case OpVarRead:
+				if !promotable[s.Sym] {
+					continue
+				}
+				if v, ok := in[s.Sym]; ok && v != nil && v != undef {
+					replaceUses(a, s, v)
+					dead = append(dead, i)
+					changed = true
+				}
+			case OpVarWrite:
+				if !promotable[s.Sym] {
+					continue
+				}
+				in[s.Sym] = s.Args[0]
+				dead = append(dead, i)
+				changed = true
+			}
+		}
+		if len(dead) > 0 {
+			b.Stmts = removeIndices(b.Stmts, dead)
+		}
+	}
+	return changed
+}
+
+// phiElim lowers remaining phi statements back into symbol writes in the
+// predecessors and a read at the phi site — the O4 PHI Elimination pass that
+// returns the action to the variable form the generator consumes.
+func phiElim(a *Action) bool {
+	preds := a.Preds()
+	changed := false
+	for _, b := range a.Blocks {
+		for i := 0; i < len(b.Stmts); i++ {
+			s := b.Stmts[i]
+			if s.Op != OpPhi {
+				continue
+			}
+			changed = true
+			sym := &Symbol{Name: fmt.Sprintf("phi_%d", s.ID), Type: s.Type}
+			a.Symbols = append(a.Symbols, sym)
+			for _, p := range preds[b] {
+				v, ok := s.PhiIn[p]
+				if !ok {
+					continue
+				}
+				w := &Stmt{ID: a.nextStmtID, Op: OpVarWrite, Type: 0,
+					Args: []*Stmt{v}, Sym: sym, Block: p}
+				a.nextStmtID++
+				// Insert before the terminator.
+				t := len(p.Stmts) - 1
+				p.Stmts = append(p.Stmts, nil)
+				copy(p.Stmts[t+1:], p.Stmts[t:])
+				p.Stmts[t] = w
+			}
+			// The phi becomes a read.
+			s.Op = OpVarRead
+			s.Sym = sym
+			s.PhiIn = nil
+		}
+	}
+	return changed
+}
