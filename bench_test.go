@@ -21,6 +21,9 @@ import (
 // BenchmarkFig17_SPECint regenerates Fig. 17: SPECint speedup over the QEMU
 // baseline (paper: geomean 2.21x).
 func BenchmarkFig17_SPECint(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-evaluation benchmark; skipped in -short runs")
+	}
 	for i := 0; i < b.N; i++ {
 		var ratios []float64
 		for _, w := range bench.Integer() {
@@ -36,6 +39,9 @@ func BenchmarkFig17_SPECint(b *testing.B) {
 
 // BenchmarkFig18_SPECfp regenerates Fig. 18: SPECfp speedup (paper: 6.49x).
 func BenchmarkFig18_SPECfp(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-evaluation benchmark; skipped in -short runs")
+	}
 	for i := 0; i < b.N; i++ {
 		var ratios []float64
 		for _, w := range bench.Float() {
@@ -52,6 +58,9 @@ func BenchmarkFig18_SPECfp(b *testing.B) {
 // BenchmarkFig19_SimBench regenerates Fig. 19 and reports the memory-system
 // headline (Mem-Hot-MMU speedup).
 func BenchmarkFig19_SimBench(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-evaluation benchmark; skipped in -short runs")
+	}
 	for i := 0; i < b.N; i++ {
 		var hot float64
 		for _, m := range bench.SimBench() {
@@ -74,6 +83,9 @@ func BenchmarkFig19_SimBench(b *testing.B) {
 // BenchmarkFig20_JITPhases regenerates Fig. 20 and reports the translate
 // share (paper: 54.54%).
 func BenchmarkFig20_JITPhases(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-evaluation benchmark; skipped in -short runs")
+	}
 	for i := 0; i < b.N; i++ {
 		t, err := bench.Fig20(bench.Options{})
 		if err != nil {
@@ -90,6 +102,9 @@ func BenchmarkFig20_JITPhases(b *testing.B) {
 // BenchmarkFig21_CodeQuality regenerates Fig. 21 and reports the per-block
 // code-quality factor (paper: 3.44x on 429.mcf).
 func BenchmarkFig21_CodeQuality(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-evaluation benchmark; skipped in -short runs")
+	}
 	for i := 0; i < b.N; i++ {
 		r, err := bench.Fig21()
 		if err != nil {
@@ -102,6 +117,9 @@ func BenchmarkFig21_CodeQuality(b *testing.B) {
 // BenchmarkFig22_Native regenerates Fig. 22 and reports Captive's guest MIPS
 // (the basis of the native-platform comparison).
 func BenchmarkFig22_Native(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-evaluation benchmark; skipped in -short runs")
+	}
 	for i := 0; i < b.N; i++ {
 		t, err := bench.Fig22(bench.Options{})
 		if err != nil {
@@ -118,6 +136,9 @@ func BenchmarkFig22_Native(b *testing.B) {
 // BenchmarkTable2_Sqrt verifies and times the Table 2 corner-case
 // reproduction (bit-accurate FSQRT via host FP + fix-ups).
 func BenchmarkTable2_Sqrt(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-evaluation benchmark; skipped in -short runs")
+	}
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Table2(); err != nil {
 			b.Fatal(err)
@@ -128,6 +149,9 @@ func BenchmarkTable2_Sqrt(b *testing.B) {
 // BenchmarkSec34_JITStats regenerates the §3.4 statistics and reports bytes
 // of host code per guest instruction on Captive (paper: 67.53).
 func BenchmarkSec34_JITStats(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-evaluation benchmark; skipped in -short runs")
+	}
 	for i := 0; i < b.N; i++ {
 		t, err := bench.Sec34()
 		if err != nil {
@@ -144,6 +168,9 @@ func BenchmarkSec34_JITStats(b *testing.B) {
 // BenchmarkSec361_OptLevels regenerates the §3.6.1 offline-optimization
 // comparison and reports the O4 size reduction (paper: 56%).
 func BenchmarkSec361_OptLevels(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-evaluation benchmark; skipped in -short runs")
+	}
 	for i := 0; i < b.N; i++ {
 		t, err := bench.Sec361()
 		if err != nil {
@@ -160,6 +187,9 @@ func BenchmarkSec361_OptLevels(b *testing.B) {
 // BenchmarkSec362_HardVsSoftFP regenerates §3.6.2 and reports the
 // within-Captive hardware-FP gain (paper: 1.3x).
 func BenchmarkSec362_HardVsSoftFP(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-evaluation benchmark; skipped in -short runs")
+	}
 	for i := 0; i < b.N; i++ {
 		t, err := bench.Sec362()
 		if err != nil {

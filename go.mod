@@ -1,0 +1,3 @@
+module captive
+
+go 1.21

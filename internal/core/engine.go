@@ -681,3 +681,26 @@ func (e *Engine) CPUStats() vx64.Stats { return e.cpu.Stats }
 func (e *Engine) LoadUser(data []byte, gpa uint64) error {
 	return e.vm.LoadGuestImage(data, gpa)
 }
+
+// ReadRAM copies len(dst) bytes of guest physical memory starting at pa.
+// Guest RAM is identity-mapped at the bottom of host physical memory, so
+// this is a plain slice read. Differential harnesses use it to compare
+// memory images across engines.
+func (e *Engine) ReadRAM(pa uint64, dst []byte) error {
+	size := e.vm.Layout.GuestRAMSize
+	if pa > size || uint64(len(dst)) > size-pa {
+		return fmt.Errorf("core: ReadRAM [%#x, +%#x) exceeds guest RAM", pa, len(dst))
+	}
+	copy(dst, e.vm.Phys[pa:])
+	return nil
+}
+
+// RegState returns a copy of the architectural register file below the PC
+// slot (X, VL, VH, NZCV). The PC slot is excluded: engines only materialize
+// it at dispatch boundaries, so its resting value after a halt is
+// engine-specific while the architectural registers are not.
+func (e *Engine) RegState() []byte {
+	out := make([]byte, e.module.Layout.PCOffset)
+	copy(out, e.regfile())
+	return out
+}

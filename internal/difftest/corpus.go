@@ -1,0 +1,21 @@
+package difftest
+
+// RegressionSeeds is the committed corpus: seeds every CI run replays
+// regardless of -short. Grow this list whenever a differential failure is
+// found and fixed — the seed that exposed the bug goes here, pinning the
+// reproducer forever. The initial population was chosen to cover every
+// generator construct (branches, bounded loops, calls, SVC round-trips,
+// FP/vector traffic, register-offset addressing) at several program sizes.
+var RegressionSeeds = []struct {
+	Seed int64
+	Ops  int
+}{
+	{1, 40}, {2, 40}, {3, 40}, {4, 40}, {5, 40},
+	{6, 80}, {7, 80}, {8, 80}, {9, 80}, {10, 80},
+	{11, 120}, {12, 120}, {13, 120}, {14, 120}, {15, 120},
+	{16, 160}, {17, 160}, {18, 160}, {19, 160}, {20, 160},
+	{0x5EED0001, 60}, {0x5EED0002, 60}, {0x5EED0003, 60}, {0x5EED0004, 60},
+	{0x5EED0005, 100}, {0x5EED0006, 100}, {0x5EED0007, 100}, {0x5EED0008, 100},
+	{0xC0FFEE, 140}, {0xDECAF, 140}, {0xFACADE, 140}, {0xBEEF, 140},
+	{777, 200}, {31337, 200}, {65537, 200}, {1 << 40, 200},
+}

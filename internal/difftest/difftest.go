@@ -1,0 +1,313 @@
+package difftest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+
+	"captive/internal/core"
+	"captive/internal/guest/ga64"
+	"captive/internal/hvm"
+	"captive/internal/interp"
+	"captive/internal/ssa"
+)
+
+// EngineID names one engine/optimization-level configuration under test.
+type EngineID struct {
+	Name  string // "interp", "captive", "qemu"
+	Level ssa.OptLevel
+}
+
+func (id EngineID) String() string { return fmt.Sprintf("%s/O%d", id.Name, id.Level) }
+
+// Golden is the reference configuration every other run is compared to.
+var Golden = EngineID{Name: "interp", Level: ssa.O4}
+
+// Configs returns the engine matrix: the golden interpreter, the
+// interpreter at O1 (offline-optimizer differential inside one engine), the
+// Captive DBT at every offline level, and the QEMU-style baseline at O4.
+func Configs() []EngineID {
+	return []EngineID{
+		{Name: "interp", Level: ssa.O1},
+		{Name: "captive", Level: ssa.O1},
+		{Name: "captive", Level: ssa.O2},
+		{Name: "captive", Level: ssa.O3},
+		{Name: "captive", Level: ssa.O4},
+		{Name: "qemu", Level: ssa.O4},
+	}
+}
+
+// State is the engine-independent architectural state extracted after a run.
+// Two engines executed a program identically iff their States are equal.
+type State struct {
+	Regs     []byte // register file below the PC slot: X, VL, VH, NZCV
+	Data     []byte // the probed data windows
+	Instrs   uint64 // retired guest instructions
+	ExitCode uint64
+}
+
+// Equal reports whether two states are bit-identical.
+func (s State) Equal(o State) bool {
+	return s.Instrs == o.Instrs && s.ExitCode == o.ExitCode &&
+		bytes.Equal(s.Regs, o.Regs) && bytes.Equal(s.Data, o.Data)
+}
+
+// Diff describes the first difference between two states ("" when equal).
+func (s State) Diff(o State) string {
+	var sb strings.Builder
+	if s.ExitCode != o.ExitCode {
+		fmt.Fprintf(&sb, "exit code %#x vs %#x; ", s.ExitCode, o.ExitCode)
+	}
+	if s.Instrs != o.Instrs {
+		fmt.Fprintf(&sb, "instr count %d vs %d; ", s.Instrs, o.Instrs)
+	}
+	l := regLayout()
+	for i := 0; i+8 <= l.nzcv && i+8 <= len(s.Regs) && i+8 <= len(o.Regs); i += 8 {
+		a := binary.LittleEndian.Uint64(s.Regs[i:])
+		b := binary.LittleEndian.Uint64(o.Regs[i:])
+		if a != b {
+			fmt.Fprintf(&sb, "%s=%#x vs %#x; ", regName(i), a, b)
+		}
+	}
+	if len(s.Regs) > l.nzcv && len(o.Regs) > l.nzcv && s.Regs[l.nzcv] != o.Regs[l.nzcv] {
+		fmt.Fprintf(&sb, "NZCV=%04b vs %04b; ", s.Regs[l.nzcv], o.Regs[l.nzcv])
+	}
+	for i := range s.Data {
+		if i < len(o.Data) && s.Data[i] != o.Data[i] {
+			fmt.Fprintf(&sb, "mem[probe+%#x]=%#x vs %#x; ", i, s.Data[i], o.Data[i])
+			break
+		}
+	}
+	return strings.TrimSuffix(sb.String(), "; ")
+}
+
+// layout holds the GA64 register-file bank offsets, taken from the built
+// module so diff reporting can never drift from the layout gen.Build
+// actually computed.
+type layout struct {
+	x, vl, vh, nzcv int
+}
+
+var (
+	layoutOnce sync.Once
+	layoutVal  layout
+)
+
+func regLayout() layout {
+	layoutOnce.Do(func() {
+		reg := ga64.MustModule().Registry
+		layoutVal = layout{
+			x:    reg.Bank("X").Offset,
+			vl:   reg.Bank("VL").Offset,
+			vh:   reg.Bank("VH").Offset,
+			nzcv: reg.Bank("NZCV").Offset,
+		}
+	})
+	return layoutVal
+}
+
+// regName maps a register-file byte offset to a friendly name.
+func regName(off int) string {
+	l := regLayout()
+	switch {
+	case off >= l.nzcv:
+		return "NZCV"
+	case off >= l.vh:
+		return fmt.Sprintf("VH%d", (off-l.vh)/8)
+	case off >= l.vl:
+		return fmt.Sprintf("VL%d", (off-l.vl)/8)
+	default:
+		return fmt.Sprintf("X%d", (off-l.x)/8)
+	}
+}
+
+// stepLimit bounds interpreter runs; cycleBudget bounds DBT runs
+// (deci-cycles of the simulated host clock). Generated programs are short
+// and always halt; these limits only catch harness or model bugs.
+const (
+	stepLimit   = 2_000_000
+	cycleBudget = 4_000_000_000
+)
+
+// Run executes a generated program on one engine configuration.
+func Run(p *Program, id EngineID) (State, error) {
+	module, err := ga64.NewModule(id.Level)
+	if err != nil {
+		return State{}, err
+	}
+	switch id.Name {
+	case "interp":
+		m := interp.New(module, RAMBytes)
+		copy(m.Mem[HandlerBase:], p.Handler)
+		if err := m.LoadImage(p.Image, Org, Org); err != nil {
+			return State{}, err
+		}
+		if _, err := m.Run(stepLimit); err != nil {
+			return State{}, err
+		}
+		if !m.Halted {
+			return State{}, fmt.Errorf("interp: did not halt")
+		}
+		st := State{Regs: m.RegState(), Instrs: m.Instrs, ExitCode: m.ExitCode}
+		st.Data = append(st.Data, m.Mem[ProbeStart:ProbeEnd]...)
+		st.Data = append(st.Data, m.Mem[StackProbe:StackEnd]...)
+		return st, nil
+
+	case "captive", "qemu":
+		vm, err := hvm.New(hvm.Config{GuestRAMBytes: RAMBytes, CodeCacheBytes: 4 << 20, PTPoolBytes: 2 << 20})
+		if err != nil {
+			return State{}, err
+		}
+		var e *core.Engine
+		if id.Name == "qemu" {
+			e, err = core.NewQEMU(vm, module)
+		} else {
+			e, err = core.New(vm, module)
+		}
+		if err != nil {
+			return State{}, err
+		}
+		if err := e.LoadUser(p.Handler, HandlerBase); err != nil {
+			return State{}, err
+		}
+		if err := e.LoadImage(p.Image, Org, Org); err != nil {
+			return State{}, err
+		}
+		if err := e.Run(cycleBudget); err != nil {
+			return State{}, fmt.Errorf("%s: %w", id, err)
+		}
+		halted, code := e.Halted()
+		if !halted {
+			return State{}, fmt.Errorf("%s: did not halt", id)
+		}
+		st := State{Regs: e.RegState(), Instrs: e.GuestInstrs(), ExitCode: code}
+		buf := make([]byte, (ProbeEnd-ProbeStart)+(StackEnd-StackProbe))
+		if err := e.ReadRAM(ProbeStart, buf[:ProbeEnd-ProbeStart]); err != nil {
+			return State{}, err
+		}
+		if err := e.ReadRAM(StackProbe, buf[ProbeEnd-ProbeStart:]); err != nil {
+			return State{}, err
+		}
+		st.Data = buf
+		return st, nil
+	}
+	return State{}, fmt.Errorf("difftest: unknown engine %q", id.Name)
+}
+
+// Mismatch describes a differential failure, including the minimized
+// reproducer.
+type Mismatch struct {
+	Seed      int64
+	ID        EngineID
+	Detail    string
+	Minimized []uint32 // minimized instruction words of the main image
+}
+
+// Error implements error.
+func (m *Mismatch) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "difftest: seed %d: %s diverges from %s: %s\n", m.Seed, m.ID, Golden, m.Detail)
+	fmt.Fprintf(&sb, "minimized program (%d live words):\n", countLive(m.Minimized))
+	for i, w := range m.Minimized {
+		if w == nopWord {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %#06x: %#08x\n", Org+4*i, w)
+	}
+	return sb.String()
+}
+
+// Check generates the program for a seed, runs it through the full engine
+// matrix and compares every configuration against the golden interpreter.
+// On divergence the failing program is automatically minimized.
+func Check(seed int64, ops int) error {
+	p, err := Generate(seed, ops)
+	if err != nil {
+		return fmt.Errorf("difftest: seed %d: generate: %w", seed, err)
+	}
+	golden, err := Run(p, Golden)
+	if err != nil {
+		return fmt.Errorf("difftest: seed %d: golden run: %w", seed, err)
+	}
+	for _, id := range Configs() {
+		st, err := Run(p, id)
+		if err != nil {
+			return fmt.Errorf("difftest: seed %d: %w", seed, err)
+		}
+		if st.Equal(golden) {
+			continue
+		}
+		detail := golden.Diff(st)
+		words := Minimize(p, id)
+		return &Mismatch{Seed: seed, ID: id, Detail: detail, Minimized: words}
+	}
+	return nil
+}
+
+var nopWord = ga64.EncS(ga64.OpNop, 0, 0, 0)
+
+func countLive(words []uint32) int {
+	n := 0
+	for _, w := range words {
+		if w != nopWord {
+			n++
+		}
+	}
+	return n
+}
+
+// Minimize shrinks a failing program by replacing instruction words with
+// NOPs while the divergence against the golden interpreter persists.
+// Replacing (rather than deleting) preserves branch displacements, so every
+// intermediate candidate remains a well-formed program. The reduction loops
+// to a fixpoint.
+func Minimize(p *Program, id EngineID) []uint32 {
+	words := make([]uint32, len(p.Image)/4)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint32(p.Image[4*i:])
+	}
+	stillFails := func(ws []uint32) bool {
+		img := make([]byte, 4*len(ws))
+		for i, w := range ws {
+			binary.LittleEndian.PutUint32(img[4*i:], w)
+		}
+		cand := &Program{Seed: p.Seed, Image: img, Handler: p.Handler}
+		g, err := Run(cand, Golden)
+		if err != nil {
+			return false // must still run cleanly on the golden model
+		}
+		st, err := Run(cand, id)
+		if err != nil {
+			return false
+		}
+		return !st.Equal(g)
+	}
+	return minimizeWords(words, stillFails)
+}
+
+// minimizeWords is the reduction core: greedily NOP out words while the
+// predicate keeps reporting failure, looping to a fixpoint. A program that
+// does not fail is returned unchanged.
+func minimizeWords(words []uint32, stillFails func([]uint32) bool) []uint32 {
+	if !stillFails(words) {
+		return words // not reproducible under re-run; return unreduced
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range words {
+			if words[i] == nopWord {
+				continue
+			}
+			save := words[i]
+			words[i] = nopWord
+			if stillFails(words) {
+				changed = true
+			} else {
+				words[i] = save
+			}
+		}
+	}
+	return words
+}

@@ -1,0 +1,175 @@
+package difftest
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"captive/internal/guest/ga64"
+	"captive/internal/ssa"
+)
+
+// TestCorpus replays the committed regression-seed corpus on every engine
+// configuration. This always runs, including under -short.
+func TestCorpus(t *testing.T) {
+	for _, c := range RegressionSeeds {
+		c := c
+		if err := Check(c.Seed, c.Ops); err != nil {
+			t.Errorf("corpus seed %d (ops %d):\n%v", c.Seed, c.Ops, err)
+		}
+	}
+}
+
+// TestSweep runs the full differential sweep: 500 fresh seeded programs
+// through the interpreter, the Captive DBT at O1–O4 and the QEMU baseline,
+// asserting bit-identical register files, flags, memory and instruction
+// counts. Under -short a 50-seed subset runs.
+func TestSweep(t *testing.T) {
+	n := 500
+	if testing.Short() {
+		n = 50
+	}
+	for i := 0; i < n; i++ {
+		seed := int64(1_000_000 + i)
+		ops := 40 + (i%5)*30
+		if err := Check(seed, ops); err != nil {
+			t.Fatalf("sweep seed %d (ops %d):\n%v", seed, ops, err)
+		}
+	}
+}
+
+// TestGenerateDeterministic pins generation to the seed: the same seed must
+// produce the same image byte-for-byte, or the corpus stops being a corpus.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(42, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(42, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Image) != string(b.Image) || string(a.Handler) != string(b.Handler) {
+		t.Fatal("generation is not deterministic")
+	}
+	c, err := Generate(43, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Image) == string(c.Image) {
+		t.Fatal("different seeds produced identical programs")
+	}
+}
+
+// TestRunMatrixExecutes sanity-checks that each engine configuration
+// actually executes a program (non-zero instruction count, clean halt).
+func TestRunMatrixExecutes(t *testing.T) {
+	p, err := Generate(7, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := append([]EngineID{Golden}, Configs()...)
+	for _, id := range ids {
+		st, err := Run(p, id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if st.Instrs == 0 {
+			t.Errorf("%s: no instructions retired", id)
+		}
+		if st.ExitCode != 0 {
+			t.Errorf("%s: exit code %d", id, st.ExitCode)
+		}
+	}
+}
+
+// TestMinimizeShrinks drives the NOP-replacement reduction loop with a
+// synthetic failure predicate: the "bug" triggers whenever two specific
+// marker words are both present. The minimizer must NOP out everything
+// else and keep exactly the two markers.
+func TestMinimizeShrinks(t *testing.T) {
+	const markerA, markerB = 0xAAAA0001, 0xBBBB0002
+	words := make([]uint32, 64)
+	for i := range words {
+		words[i] = 0x11110000 + uint32(i) // irrelevant filler
+	}
+	words[13] = markerA
+	words[47] = markerB
+	stillFails := func(ws []uint32) bool {
+		var a, b bool
+		for _, w := range ws {
+			a = a || w == markerA
+			b = b || w == markerB
+		}
+		return a && b
+	}
+	out := minimizeWords(words, stillFails)
+	if len(out) != 64 {
+		t.Fatalf("minimizer changed program length: %d", len(out))
+	}
+	if countLive(out) != 2 || out[13] != markerA || out[47] != markerB {
+		t.Fatalf("minimizer kept %d live words (want exactly the 2 markers): %#x", countLive(out), out)
+	}
+}
+
+// TestMinimizeKeepsNonFailing verifies the guard path: a program whose
+// predicate does not fail comes back byte-identical (no spurious reduction
+// of an unreproducible report).
+func TestMinimizeKeepsNonFailing(t *testing.T) {
+	p, err := Generate(99, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := Minimize(p, EngineID{Name: "captive", Level: ssa.O4})
+	if len(words) != len(p.Image)/4 {
+		t.Fatalf("minimizer changed program length: %d words vs %d", len(words), len(p.Image)/4)
+	}
+	for i, w := range words {
+		if binary.LittleEndian.Uint32(p.Image[4*i:]) != w {
+			t.Fatal("minimizer mutated a non-failing program")
+		}
+	}
+}
+
+// TestStateDiffReporting checks the human-readable diff output names the
+// diverging register.
+func TestStateDiffReporting(t *testing.T) {
+	a := State{Regs: make([]byte, 769), Data: []byte{0}, Instrs: 5}
+	b := State{Regs: make([]byte, 769), Data: []byte{0}, Instrs: 5}
+	binary.LittleEndian.PutUint64(b.Regs[3*8:], 0xDEAD)
+	d := a.Diff(b)
+	if d == "" || !strings.Contains(d, "X3") {
+		t.Errorf("diff = %q, want mention of X3", d)
+	}
+	if !a.Equal(a) || a.Equal(b) {
+		t.Error("Equal is wrong")
+	}
+	// An NZCV-only divergence must be reported by name, not as padding.
+	c := State{Regs: make([]byte, 776), Data: []byte{0}, Instrs: 5}
+	e := State{Regs: make([]byte, 776), Data: []byte{0}, Instrs: 5}
+	e.Regs[regLayout().nzcv] = 0b1010
+	if d := c.Diff(e); !strings.Contains(d, "NZCV") {
+		t.Errorf("diff = %q, want mention of NZCV", d)
+	}
+}
+
+// TestSVCRoundTrip pins the exception path: a program that is mostly SVCs
+// must agree across engines and retire the handler's instructions.
+func TestSVCRoundTrip(t *testing.T) {
+	p, err := Generate(5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Run(p, Golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(p, EngineID{Name: "captive", Level: ssa.O4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Equal(g) {
+		t.Fatalf("SVC program diverged: %s", g.Diff(st))
+	}
+	_ = ga64.ECSVC
+}

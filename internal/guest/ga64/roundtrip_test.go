@@ -1,0 +1,174 @@
+package ga64
+
+import (
+	"strings"
+	"testing"
+)
+
+// opcase pairs an Op* constant with its instruction name and a sample
+// encoding. sample must decode, name the expected instruction, and
+// round-trip the listed fields.
+type opcase struct {
+	op     uint32
+	name   string
+	word   uint32
+	fields map[string]uint64
+}
+
+// allOpcodes enumerates every Op* constant in ga64.go with a representative
+// encoding. TestADLCoversEveryOpcode fails if the embedded ADL model does
+// not give each one a when-clause that decodes it back.
+var allOpcodes = []opcase{
+	// R-format ALU.
+	{OpAddReg, "add_reg", EncR(OpAddReg, 3, 4, 5, 6, 0), map[string]uint64{"rd": 3, "rn": 4, "rm": 5, "sh": 6}},
+	{OpSubReg, "sub_reg", EncR(OpSubReg, 1, 2, 3, 0, 0), map[string]uint64{"rd": 1}},
+	{OpAddsReg, "adds_reg", EncR(OpAddsReg, 1, 2, 3, 0, 0), nil},
+	{OpSubsReg, "subs_reg", EncR(OpSubsReg, 1, 2, 3, 0, 0), nil},
+	{OpAndReg, "and_reg", EncR(OpAndReg, 1, 2, 3, 0, 0), nil},
+	{OpAndsReg, "ands_reg", EncR(OpAndsReg, 1, 2, 3, 0, 0), nil},
+	{OpOrrReg, "orr_reg", EncR(OpOrrReg, 1, 2, 3, 0, 0), nil},
+	{OpEorReg, "eor_reg", EncR(OpEorReg, 1, 2, 3, 0, 0), nil},
+	{OpMul, "mul", EncR(OpMul, 1, 2, 3, 0, 0), nil},
+	{OpSdiv, "sdiv", EncR(OpSdiv, 1, 2, 3, 0, 0), nil},
+	{OpUdiv, "udiv", EncR(OpUdiv, 1, 2, 3, 0, 0), nil},
+	{OpLslv, "lslv", EncR(OpLslv, 1, 2, 3, 0, 0), nil},
+	{OpLsrv, "lsrv", EncR(OpLsrv, 1, 2, 3, 0, 0), nil},
+	{OpAsrv, "asrv", EncR(OpAsrv, 1, 2, 3, 0, 0), nil},
+	{OpMadd, "madd", EncR(OpMadd, 1, 2, 3, 4, 0), map[string]uint64{"sh": 4}},
+	{OpMsub, "msub", EncR(OpMsub, 1, 2, 3, 4, 0), nil},
+	{OpCsel, "csel", EncR(OpCsel, 1, 2, 3, CondLT, 0), map[string]uint64{"sh": CondLT}},
+	{OpCsinc, "csinc", EncR(OpCsinc, 1, 2, 3, CondEQ, 0), nil},
+	{OpBicReg, "bic_reg", EncR(OpBicReg, 1, 2, 3, 0, 0), nil},
+	{OpCmpReg, "cmp_reg", EncR(OpCmpReg, 0, 2, 3, 0, 0), nil},
+	{OpTstReg, "tst_reg", EncR(OpTstReg, 0, 2, 3, 0, 0), nil},
+	// Immediate ALU.
+	{OpAddImm, "add_imm", EncI(OpAddImm, 1, 2, 123), map[string]uint64{"imm": 123}},
+	{OpSubImm, "sub_imm", EncI(OpSubImm, 1, 2, 123), nil},
+	{OpAddsImm, "adds_imm", EncI(OpAddsImm, 1, 2, 123), nil},
+	{OpSubsImm, "subs_imm", EncI(OpSubsImm, 1, 2, 123), nil},
+	{OpAndImm, "and_imm", EncI(OpAndImm, 1, 2, 123), nil},
+	{OpOrrImm, "orr_imm", EncI(OpOrrImm, 1, 2, 123), nil},
+	{OpEorImm, "eor_imm", EncI(OpEorImm, 1, 2, 123), nil},
+	{OpLslImm, "lsl_imm", EncI(OpLslImm, 1, 2, 12), nil},
+	{OpLsrImm, "lsr_imm", EncI(OpLsrImm, 1, 2, 12), nil},
+	{OpAsrImm, "asr_imm", EncI(OpAsrImm, 1, 2, 12), nil},
+	{OpCmpImm, "cmp_imm", EncI(OpCmpImm, 0, 2, 12), nil},
+	{OpMovz, "movz", EncMOVW(OpMovz, 7, 2, 0xBEEF), map[string]uint64{"rd": 7, "hw": 2, "imm": 0xBEEF}},
+	{OpMovk, "movk", EncMOVW(OpMovk, 7, 1, 0x1234), map[string]uint64{"imm": 0x1234}},
+	{OpMovn, "movn", EncMOVW(OpMovn, 7, 0, 0xFFFF), nil},
+	// Loads and stores.
+	{OpLdr64, "ldr64", EncM(OpLdr64, 1, 2, -8), map[string]uint64{"rt": 1, "rn": 2, "imm": 0x3FF8}},
+	{OpLdr32, "ldr32", EncM(OpLdr32, 1, 2, 8), nil},
+	{OpLdr16, "ldr16", EncM(OpLdr16, 1, 2, 8), nil},
+	{OpLdr8, "ldr8", EncM(OpLdr8, 1, 2, 8), nil},
+	{OpLdrs32, "ldrs32", EncM(OpLdrs32, 1, 2, 8), nil},
+	{OpLdrs8, "ldrs8", EncM(OpLdrs8, 1, 2, 8), nil},
+	{OpStr64, "str64", EncM(OpStr64, 1, 2, 8), nil},
+	{OpStr32, "str32", EncM(OpStr32, 1, 2, 8), nil},
+	{OpStr16, "str16", EncM(OpStr16, 1, 2, 8), nil},
+	{OpStr8, "str8", EncM(OpStr8, 1, 2, 8), nil},
+	{OpLdr64R, "ldr64_r", EncR(OpLdr64R, 1, 2, 3, 3, 0), nil},
+	{OpStr64R, "str64_r", EncR(OpStr64R, 1, 2, 3, 3, 0), nil},
+	{OpLdr8R, "ldr8_r", EncR(OpLdr8R, 1, 2, 3, 0, 0), nil},
+	{OpStr8R, "str8_r", EncR(OpStr8R, 1, 2, 3, 0, 0), nil},
+	{OpLdr32R, "ldr32_r", EncR(OpLdr32R, 1, 2, 3, 2, 0), nil},
+	{OpStr32R, "str32_r", EncR(OpStr32R, 1, 2, 3, 2, 0), nil},
+	{OpLdp, "ldp", EncP(OpLdp, 1, 2, 3, -4), map[string]uint64{"rt": 1, "rt2": 2, "rn": 3, "imm": 0x1FC}},
+	{OpStp, "stp", EncP(OpStp, 1, 2, 3, 4), nil},
+	// Vector.
+	{OpVadd2D, "vadd_2d", EncR(OpVadd2D, 1, 2, 3, 0, 0), nil},
+	{OpVfadd2D, "vfadd_2d", EncR(OpVfadd2D, 1, 2, 3, 0, 0), nil},
+	{OpVfmul2D, "vfmul_2d", EncR(OpVfmul2D, 1, 2, 3, 0, 0), nil},
+	{OpVld1, "vld1", EncM(OpVld1, 1, 2, 16), nil},
+	{OpVst1, "vst1", EncM(OpVst1, 1, 2, 16), nil},
+	// Branches.
+	{OpB, "b", EncB(OpB, -2), map[string]uint64{"off": 0xFFFFFE}},
+	{OpBL, "bl", EncB(OpBL, 2), map[string]uint64{"off": 2}},
+	{OpCbz, "cbz", EncCB(OpCbz, 5, 3), map[string]uint64{"rt": 5, "off": 3}},
+	{OpCbnz, "cbnz", EncCB(OpCbnz, 5, 3), nil},
+	{OpBCond, "b_cond", EncBC(OpBCond, CondLE, -1), map[string]uint64{"cond": CondLE, "off": 0xFFFFF}},
+	{OpBr, "br", EncR(OpBr, 0, 7, 0, 0, 0), map[string]uint64{"rn": 7}},
+	{OpBlr, "blr", EncR(OpBlr, 0, 7, 0, 0, 0), nil},
+	{OpRet, "ret", EncR(OpRet, 0, LR, 0, 0, 0), map[string]uint64{"rn": LR}},
+	{OpAdr, "adr", EncCB(OpAdr, 5, 9), map[string]uint64{"rt": 5, "off": 9}},
+	// Floating point.
+	{OpFadd, "fadd", EncR(OpFadd, 1, 2, 3, 0, 0), nil},
+	{OpFsub, "fsub", EncR(OpFsub, 1, 2, 3, 0, 0), nil},
+	{OpFmul, "fmul", EncR(OpFmul, 1, 2, 3, 0, 0), nil},
+	{OpFdiv, "fdiv", EncR(OpFdiv, 1, 2, 3, 0, 0), nil},
+	{OpFsqrt, "fsqrt", EncR(OpFsqrt, 1, 2, 0, 0, 0), nil},
+	{OpFneg, "fneg", EncR(OpFneg, 1, 2, 0, 0, 0), nil},
+	{OpFabs, "fabs", EncR(OpFabs, 1, 2, 0, 0, 0), nil},
+	{OpFmin, "fmin", EncR(OpFmin, 1, 2, 3, 0, 0), nil},
+	{OpFmax, "fmax", EncR(OpFmax, 1, 2, 3, 0, 0), nil},
+	{OpFcmp, "fcmp", EncR(OpFcmp, 0, 2, 3, 0, 0), nil},
+	{OpFmov, "fmov", EncR(OpFmov, 1, 2, 0, 0, 0), nil},
+	{OpFmovGX, "fmov_gx", EncR(OpFmovGX, 1, 2, 0, 0, 0), nil},
+	{OpFmovXG, "fmov_xg", EncR(OpFmovXG, 1, 2, 0, 0, 0), nil},
+	{OpScvtf, "scvtf", EncR(OpScvtf, 1, 2, 0, 0, 0), nil},
+	{OpUcvtf, "ucvtf", EncR(OpUcvtf, 1, 2, 0, 0, 0), nil},
+	{OpFcvtzs, "fcvtzs", EncR(OpFcvtzs, 1, 2, 0, 0, 0), nil},
+	{OpFcvtzu, "fcvtzu", EncR(OpFcvtzu, 1, 2, 0, 0, 0), nil},
+	{OpFmadd, "fmadd", EncR(OpFmadd, 1, 2, 3, 4, 0), map[string]uint64{"sh": 4}},
+	{OpFldr, "fldr", EncM(OpFldr, 1, 2, 8), nil},
+	{OpFstr, "fstr", EncM(OpFstr, 1, 2, 8), nil},
+	// System.
+	{OpMrs, "mrs", EncS(OpMrs, 3, SysESR, 0), map[string]uint64{"rt": 3, "sr": SysESR}},
+	{OpMsr, "msr", EncS(OpMsr, 3, SysVBAR, 0), map[string]uint64{"sr": SysVBAR}},
+	{OpSvc, "svc", EncS(OpSvc, 0, 0, 42), map[string]uint64{"imm": 42}},
+	{OpHlt, "hlt", EncS(OpHlt, 0, 0, 7), map[string]uint64{"imm": 7}},
+	{OpEret, "eret", EncS(OpEret, 0, 0, 0), nil},
+	{OpTlbi, "tlbi", EncS(OpTlbi, 0, 0, 0), nil},
+	{OpNop, "nop", EncS(OpNop, 0, 0, 0), nil},
+	{OpBrk, "brk", EncS(OpBrk, 0, 0, 3), map[string]uint64{"imm": 3}},
+	{OpWfi, "wfi", EncS(OpWfi, 0, 0, 0), nil},
+}
+
+// TestADLCoversEveryOpcode checks the ADL ↔ Go round trip: every Op*
+// constant decodes through the generated decoder to an instruction whose
+// when-clause pins that opcode, and field extraction matches the encoder.
+func TestADLCoversEveryOpcode(t *testing.T) {
+	m := MustModule()
+	seen := map[string]bool{}
+	for _, c := range allOpcodes {
+		d, ok := m.Decode(uint64(c.word))
+		if !ok {
+			t.Errorf("op %#02x (%s): word %#08x does not decode", c.op, c.name, c.word)
+			continue
+		}
+		if d.Info.Name != c.name {
+			t.Errorf("op %#02x: decoded to %q, want %q", c.op, d.Info.Name, c.name)
+			continue
+		}
+		if d.Field("op") != uint64(c.op) {
+			t.Errorf("%s: op field = %#x, want %#x", c.name, d.Field("op"), c.op)
+		}
+		for f, want := range c.fields {
+			if got := d.Field(f); got != want {
+				t.Errorf("%s: field %s = %#x, want %#x", c.name, f, got, want)
+			}
+		}
+		seen[c.name] = true
+	}
+	// The reverse direction: every instruction in the model is exercised by
+	// some Op* constant (no dead when-clauses).
+	for _, in := range m.Instrs {
+		if !seen[in.Name] {
+			t.Errorf("model instruction %q has no Op* constant in ga64.go", in.Name)
+		}
+	}
+	if len(allOpcodes) != len(m.Instrs) {
+		t.Errorf("opcode table has %d entries, model has %d instructions", len(allOpcodes), len(m.Instrs))
+	}
+}
+
+// TestOpcodeTableMatchesSource cross-checks the table against the embedded
+// ADL text itself: each instruction name must appear as an `instr` with a
+// when-clause pinning its op value.
+func TestOpcodeTableMatchesSource(t *testing.T) {
+	for _, c := range allOpcodes {
+		if !strings.Contains(Source, "instr "+c.name+" ") {
+			t.Errorf("ga64.adl has no instr %q", c.name)
+		}
+	}
+}

@@ -117,6 +117,15 @@ func (m *Machine) SetNZCV(v uint8) {
 // Console returns the guest's UART output.
 func (m *Machine) Console() string { return m.Bus.Console() }
 
+// RegState returns a copy of the architectural register file below the PC
+// slot (X, VL, VH, NZCV), the engine-independent state differential tests
+// compare.
+func (m *Machine) RegState() []byte {
+	out := make([]byte, m.Module.Layout.PCOffset)
+	copy(out, m.RegFile)
+	return out
+}
+
 // physRead64 reads guest physical memory for the page-table walker.
 func (m *Machine) physRead64(pa uint64) (uint64, bool) {
 	if pa+8 > uint64(len(m.Mem)) {
