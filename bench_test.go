@@ -146,6 +146,19 @@ func BenchmarkTable2_Sqrt(b *testing.B) {
 	}
 }
 
+// BenchmarkTable5_Retarget regenerates the Table 5-style retarget figure:
+// RV64 kernels through the same Captive/QEMU engines via the guest port.
+func BenchmarkTable5_Retarget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Table5(bench.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := t.Rows[len(t.Rows)-1]
+		b.ReportMetric(last.Values[len(last.Values)-1], "geomean-speedup")
+	}
+}
+
 // BenchmarkSec34_JITStats regenerates the §3.4 statistics and reports bytes
 // of host code per guest instruction on Captive (paper: 67.53).
 func BenchmarkSec34_JITStats(b *testing.B) {

@@ -118,9 +118,9 @@ func New(cfg Config) (*Guest, error) {
 	}
 	var e *core.Engine
 	if cfg.Engine == EngineQEMU {
-		e, err = core.NewQEMU(vm, module)
+		e, err = core.NewQEMU(vm, ga64.Port{}, module)
 	} else {
-		e, err = core.New(vm, module)
+		e, err = core.New(vm, ga64.Port{}, module)
 		e.SoftFP = cfg.SoftFloat
 	}
 	if err != nil {

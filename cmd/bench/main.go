@@ -9,6 +9,7 @@
 //	bench -fig 21      # per-block code quality (chaining off)
 //	bench -fig 22      # comparison against native platform models
 //	bench -table 2     # FSQRT corner cases
+//	bench -table 5     # retargeted RV64 guest, Captive vs QEMU
 //	bench -sec 3.4     # JIT statistics
 //	bench -sec 3.6.1   # offline optimization levels
 //	bench -sec 3.6.2   # hardware vs software floating point
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	fig := flag.Int("fig", 0, "figure number to regenerate (17, 18, 19, 20, 21, 22)")
-	table := flag.Int("table", 0, "table number to regenerate (2)")
+	table := flag.Int("table", 0, "table number to regenerate (2, 5)")
 	sec := flag.String("sec", "", "section to regenerate (3.4, 3.6.1, 3.6.2)")
 	flag.Parse()
 
@@ -71,6 +72,9 @@ func main() {
 	}
 	if all || *table == 2 {
 		show(bench.Table2())
+	}
+	if all || *table == 5 {
+		show(bench.Table5(opt))
 	}
 	if all || *sec == "3.4" {
 		show(bench.Sec34())

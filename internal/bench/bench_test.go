@@ -40,6 +40,24 @@ func TestMiniOSBoot(t *testing.T) {
 	}
 }
 
+// TestTable5Retarget regenerates the retarget figure: the RV64 kernels run
+// on both DBT engines through rv64.Port with identical checksums and
+// instruction counts, and Captive comes out ahead of the baseline overall.
+func TestTable5Retarget(t *testing.T) {
+	tab, err := Table5(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	geomean := tab.Rows[len(tab.Rows)-1]
+	if geomean.Name != "Geo.Mean" {
+		t.Fatalf("last row = %q, want Geo.Mean", geomean.Name)
+	}
+	if s := geomean.Values[len(geomean.Values)-1]; s <= 1 {
+		t.Errorf("retargeted RV64 geomean speedup = %.2fx, want > 1x over the baseline", s)
+	}
+	t.Log(tab.String())
+}
+
 // TestWorkloadsAgreeAcrossEngines runs every SPEC-shaped workload under
 // Captive and the QEMU baseline and requires identical checksums — the
 // system-level differential test.

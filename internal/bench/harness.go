@@ -88,9 +88,9 @@ func newEngine(kind EngineKind, opt Options) (*core.Engine, error) {
 	var e *core.Engine
 	switch kind {
 	case EngineQEMU:
-		e, err = core.NewQEMU(vm, module())
+		e, err = core.NewQEMU(vm, ga64.Port{}, module())
 	default:
-		e, err = core.New(vm, module())
+		e, err = core.New(vm, ga64.Port{}, module())
 		if kind == EngineCaptiveSoftFP {
 			e.SoftFP = true
 		}

@@ -1,23 +1,28 @@
-package core
+// The engine tests live in an external test package: the port-layer
+// invariant is that internal/core itself — test binary included — never
+// depends on a concrete guest model; these tests drive it through
+// ga64.Port exactly as production callers do.
+package core_test
 
 import (
 	"math"
 	"math/rand"
 	"testing"
 
+	"captive/internal/core"
 	"captive/internal/guest/ga64"
 	"captive/internal/guest/ga64/asm"
 	"captive/internal/hvm"
 	"captive/internal/interp"
 )
 
-func newEngine(t *testing.T) *Engine {
+func newEngine(t *testing.T) *core.Engine {
 	t.Helper()
 	vm, err := hvm.New(hvm.Config{GuestRAMBytes: 8 << 20, CodeCacheBytes: 4 << 20, PTPoolBytes: 2 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := New(vm, ga64.MustModule())
+	e, err := core.New(vm, ga64.Port{}, ga64.MustModule())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +30,7 @@ func newEngine(t *testing.T) *Engine {
 }
 
 // runCaptive assembles and runs a program to halt under the Captive engine.
-func runCaptive(t *testing.T, e *Engine, p *asm.Program) {
+func runCaptive(t *testing.T, e *core.Engine, p *asm.Program) {
 	t.Helper()
 	img, err := p.Assemble()
 	if err != nil {
@@ -182,7 +187,7 @@ func TestEngineExceptionsAndEret(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.vm.LoadGuestImage(himg, 0x8000); err != nil {
+	if err := e.LoadUser(himg, 0x8000); err != nil {
 		t.Fatal(err)
 	}
 	runCaptive(t, e, p)
@@ -217,7 +222,7 @@ func TestEngineMMUAndUserMode(t *testing.T) {
 	handler.Mrs(4, ga64.SysCURRENTEL)
 	handler.Hlt(6)
 	himg, _ := handler.Assemble()
-	if err := e.vm.LoadGuestImage(himg, 0x8100); err != nil {
+	if err := e.LoadUser(himg, 0x8100); err != nil {
 		t.Fatal(err)
 	}
 	runCaptive(t, e, p)
@@ -267,7 +272,7 @@ func TestEngineDataAbort(t *testing.T) {
 	handler.Mrs(3, ga64.SysFAR)
 	handler.Hlt(5)
 	himg, _ := handler.Assemble()
-	if err := e.vm.LoadGuestImage(himg, 0x8000); err != nil {
+	if err := e.LoadUser(himg, 0x8000); err != nil {
 		t.Fatal(err)
 	}
 	runCaptive(t, e, p)

@@ -102,6 +102,17 @@ type Emitter struct {
 	// materialization before a bank write.
 	pendingBankLoads []gen.Val
 
+	// pendingLazy lists every unmaterialized lazy node created since the
+	// last control-flow transition. Lazy collapse is only sound while
+	// emission stays inside one emitter block: a value created in block A
+	// but first materialized inside a conditionally-executed successor
+	// would leave its vreg garbage on the other paths (the O4
+	// local-propagation SSA shape — a bank read in the entry block consumed
+	// in both arms of a branch — hits exactly this). flushPending
+	// materializes them in their defining block before the transition;
+	// unused materializations are Pure and dead-code-eliminated.
+	pendingLazy []gen.Val
+
 	// Stats for §3.4.
 	DAGNodes int
 
@@ -127,7 +138,29 @@ func newEmitter(eng *Engine) *Emitter {
 func (e *Emitter) newNode(n node) gen.Val {
 	e.nodes = append(e.nodes, n)
 	e.DAGNodes++
-	return gen.Val(len(e.nodes) - 1)
+	v := gen.Val(len(e.nodes) - 1)
+	if n.gpr == 0 && n.fpr == 0 {
+		e.pendingLazy = append(e.pendingLazy, v)
+	}
+	return v
+}
+
+// flushPending materializes every still-lazy node in the current block —
+// the ordering barrier run before control leaves it. except (or gen.NoVal)
+// names a value deliberately kept lazy (WritePC's PC+const specialization
+// pattern-matches on the unmaterialized shape).
+func (e *Emitter) flushPending(except gen.Val) {
+	pending := e.pendingLazy
+	e.pendingLazy = nil
+	for _, v := range pending {
+		if v == except {
+			e.pendingLazy = append(e.pendingLazy, v)
+			continue
+		}
+		if n := &e.nodes[v]; n.gpr == 0 && n.fpr == 0 {
+			e.matG(v)
+		}
+	}
 }
 
 func (e *Emitter) newG() uint16 { e.nextGPR++; return e.nextGPR - 1 }
@@ -626,9 +659,12 @@ func (e *Emitter) Select(ty adl.TypeName, cond, t, f gen.Val) gen.Val {
 func (e *Emitter) ReadPC() gen.Val { return e.newNode(node{kind: nReadPC, ty: adl.TypeU64}) }
 
 // WritePC implements gen.Emitter with the Fig. 9(d) specialization: a store
-// of PC+const collapses to a single add on the PC register.
+// of PC+const collapses to a single add on the PC register. Pending lazy
+// values are materialized first — any of them may transitively read the PC
+// register this write is about to redirect (the jal link-register hazard).
 func (e *Emitter) WritePC(v gen.Val) {
 	e.pcWrites++
+	e.flushPending(v)
 	n := e.nodes[v]
 	if n.kind == nBin && n.binOp == ssa.BinAdd {
 		an, bn := e.nodes[n.a], e.nodes[n.b]
@@ -660,8 +696,10 @@ func (e *Emitter) NewBlock() gen.BlockRef {
 	return b.id
 }
 
-// SetBlock implements gen.Emitter.
+// SetBlock implements gen.Emitter. Any values still lazy are materialized
+// into the block being left, where they dominate their later uses.
 func (e *Emitter) SetBlock(id gen.BlockRef) {
+	e.flushPending(gen.NoVal)
 	b := e.blocks[id]
 	if !b.placed {
 		b.placed = true
@@ -672,12 +710,14 @@ func (e *Emitter) SetBlock(id gen.BlockRef) {
 
 // Jump implements gen.Emitter.
 func (e *Emitter) Jump(id gen.BlockRef) {
+	e.flushPending(gen.NoVal)
 	e.emitBr(vx64.Inst{Op: vx64.JMP}, id)
 }
 
 // Branch implements gen.Emitter.
 func (e *Emitter) Branch(cond gen.Val, t, f gen.BlockRef) {
 	e.dynBranches++
+	e.flushPending(gen.NoVal)
 	c := e.matG(cond)
 	e.emit(vx64.Inst{Op: vx64.TESTrr, Rd: c, Rs: c})
 	e.emitBr(vx64.Inst{Op: vx64.JCC, Cond: vx64.CondNE}, t)

@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"captive/internal/gen"
-	"captive/internal/guest/ga64"
+	"captive/internal/guest/port"
 	"captive/internal/hvm"
 	"captive/internal/softfloat"
 	"captive/internal/vx64"
@@ -76,7 +76,8 @@ type Engine struct {
 	vm     *hvm.VM
 	cpu    *vx64.CPU
 	module *gen.Module
-	sys    ga64.Sys
+	guest  port.Port
+	sys    port.Sys
 
 	// Kind selects the Captive design or the QEMU-baseline design.
 	Kind BackendKind
@@ -115,9 +116,9 @@ type Engine struct {
 	pcOff   int
 	nzcvOff int
 	xOff    int
-	vlOff   int
+	fpOff   int // -1 when the guest has no FP bank
 
-	hooks ga64.Hooks
+	hooks port.Hooks
 
 	JIT   JITStats
 	Stats Stats
@@ -133,27 +134,33 @@ type exitRef struct {
 	idx int
 }
 
-// New creates a Captive engine inside the given host VM.
-func New(vm *hvm.VM, module *gen.Module) (*Engine, error) {
+// New creates a Captive engine inside the given host VM, executing the
+// guest architecture described by g. module must be a module built by (or
+// compatible with) g.Module — difftest and the benchmarks build modules per
+// offline level and pass them in directly.
+func New(vm *hvm.VM, g port.Port, module *gen.Module) (*Engine, error) {
 	if module.Layout.Size > 0x1000 {
 		return nil, fmt.Errorf("core: register file (%d bytes) exceeds its page", module.Layout.Size)
 	}
 	e := &Engine{
-		vm: vm, cpu: vm.CPU, module: module,
+		vm: vm, cpu: vm.CPU, module: module, guest: g, sys: g.NewSys(),
 		iTLB:     make(map[uint64]itlbEntry),
 		exitByPA: make(map[uint64]exitRef),
 	}
-	e.sys.Reset()
 	l := vm.Layout
 	e.mmu = newHostMMU(vm.Phys, vm.CPU, l.PTPoolPA, l.PTPoolSize)
 	e.cache = newCodeCache(vm.Phys, vm.CPU, l.CodePA, l.CodeSize)
 
+	banks := g.Banks()
 	e.pcOff = module.Layout.PCOffset
-	e.nzcvOff = module.Registry.Bank("NZCV").Offset
-	e.xOff = module.Registry.Bank("X").Offset
-	e.vlOff = module.Registry.Bank("VL").Offset
+	e.nzcvOff = module.Registry.Bank(banks.Flags).Offset
+	e.xOff = module.Registry.Bank(banks.GPR).Offset
+	e.fpOff = -1
+	if banks.FP != "" {
+		e.fpOff = module.Registry.Bank(banks.FP).Offset
+	}
 
-	e.hooks = ga64.Hooks{
+	e.hooks = port.Hooks{
 		CycleCount:         func() uint64 { return e.cpu.Stats.Cycles / 10 },
 		TranslationChanged: e.translationChanged,
 	}
@@ -188,9 +195,13 @@ func (e *Engine) SetReg(n int, v uint64) {
 	binary.LittleEndian.PutUint64(e.regfile()[e.xOff+8*n:], v)
 }
 
-// FReg returns the low half of guest vector register Vn.
+// FReg returns the low half of guest vector register Vn (0 for guests
+// without an FP bank).
 func (e *Engine) FReg(n int) uint64 {
-	return binary.LittleEndian.Uint64(e.regfile()[e.vlOff+8*n:])
+	if e.fpOff < 0 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(e.regfile()[e.fpOff+8*n:])
 }
 
 // PC returns the guest program counter.
@@ -205,8 +216,9 @@ func (e *Engine) NZCV() uint8 { return e.regfile()[e.nzcvOff] }
 // SetNZCV sets the guest flags.
 func (e *Engine) SetNZCV(v uint8) { e.regfile()[e.nzcvOff] = v & 0xF }
 
-// Sys exposes the guest system state (tests, examples).
-func (e *Engine) Sys() *ga64.Sys { return &e.sys }
+// Sys exposes the guest system state (tests, examples). Guest packages
+// provide unwrappers for their concrete state (e.g. ga64.RawSys).
+func (e *Engine) Sys() port.Sys { return e.sys }
 
 // Halted reports whether the guest executed hlt, and the exit code.
 func (e *Engine) Halted() (bool, uint64) { return e.halted, e.exitCode }
@@ -232,11 +244,18 @@ func (e *Engine) LoadImage(data []byte, gpa, entry uint64) error {
 
 // --- exception injection -------------------------------------------------------
 
-func (e *Engine) inject(ec uint8, iss uint32, far, preferredReturn uint64) {
+// raise injects a guest exception through the port: full-system guests
+// vector to their handler; user-level guests halt with the port's exit code.
+func (e *Engine) raise(ex port.Exception) {
 	e.Stats.GuestFaults++
 	e.cpu.Stats.Cycles += costInjectExc
-	newPC := e.sys.TakeException(ec, iss, far, e.NZCV(), preferredReturn, false)
-	e.SetPC(newPC)
+	entry := e.sys.Take(ex, e.NZCV())
+	if entry.Halt {
+		e.halted = true
+		e.exitCode = entry.Code
+		return
+	}
+	e.SetPC(entry.PC)
 }
 
 // translationChanged responds to guest TTBR/SCTLR writes and TLB flushes:
@@ -268,19 +287,19 @@ func (e *Engine) translationChanged() {
 func (e *Engine) translatePC(pc uint64) (uint64, bool) {
 	vaPage := pc >> 12
 	if ent, ok := e.iTLB[vaPage]; ok {
-		if e.sys.EL == 0 && !ent.user {
-			e.inject(ga64.AbortEC(true, e.sys.EL), ga64.AbortISS(false, false), pc, pc)
+		if e.sys.EL() == 0 && !ent.user {
+			e.raise(port.Exception{Kind: port.ExcInsnAbort, Addr: pc, PC: pc})
 			return 0, false
 		}
 		return ent.gpaPage<<12 | pc&0xFFF, true
 	}
 	w := e.guestWalk(pc)
 	if !w.OK {
-		e.inject(ga64.AbortEC(true, e.sys.EL), ga64.AbortISS(true, false), pc, pc)
+		e.raise(port.Exception{Kind: port.ExcInsnAbort, Translation: true, Addr: pc, PC: pc})
 		return 0, false
 	}
-	if e.sys.EL == 0 && !w.User {
-		e.inject(ga64.AbortEC(true, e.sys.EL), ga64.AbortISS(false, false), pc, pc)
+	if e.sys.EL() == 0 && !w.User {
+		e.raise(port.Exception{Kind: port.ExcInsnAbort, Addr: pc, PC: pc})
 		return 0, false
 	}
 	e.iTLB[vaPage] = itlbEntry{gpaPage: w.PA >> 12, user: w.User}
@@ -308,7 +327,7 @@ func (e *Engine) Run(budget uint64) error {
 		}
 
 		pc := e.PC()
-		el := e.sys.EL
+		el := e.sys.EL()
 		if e.Kind == BackendQEMU && el != e.lastEL {
 			// The baseline keeps one softmmu TLB: privilege changes flush
 			// it (QEMU proper avoids this with per-mmu-index TLBs).
@@ -467,21 +486,21 @@ func (e *Engine) handleHostFault(trap vx64.Trap) (bool, error) {
 	w := e.guestWalk(gva)
 	if !w.OK {
 		e.cpu.Stats.Cycles += costFaultLookup
-		e.inject(ga64.AbortEC(false, e.sys.EL), ga64.AbortISS(true, write), gva, guestPC)
+		e.raise(port.Exception{Kind: port.ExcDataAbort, Translation: true, Write: write, Addr: gva, PC: guestPC})
 		return true, nil
 	}
 	gpa := w.PA
-	if ga64.IsDevice(gpa) {
+	if e.guest.IsDevice(gpa) {
 		return false, e.emulateMMIO(trap, gpa)
 	}
 	if gpa >= e.vm.Layout.GuestRAMSize {
 		e.cpu.Stats.Cycles += costFaultLookup
-		e.inject(ga64.AbortEC(false, e.sys.EL), ga64.AbortISS(true, write), gva, guestPC)
+		e.raise(port.Exception{Kind: port.ExcDataAbort, Translation: true, Write: write, Addr: gva, PC: guestPC})
 		return true, nil
 	}
-	if !w.CheckAccess(write, e.sys.EL) {
+	if !w.CheckAccess(write, e.sys.EL()) {
 		e.cpu.Stats.Cycles += costFaultLookup
-		e.inject(ga64.AbortEC(false, e.sys.EL), ga64.AbortISS(false, write), gva, guestPC)
+		e.raise(port.Exception{Kind: port.ExcDataAbort, Write: write, Addr: gva, PC: guestPC})
 		return true, nil
 	}
 	gpaPage := gpa >> 12
@@ -579,9 +598,9 @@ func (e *Engine) registerHelpers() {
 	}
 	h[hSysRead] = func(c *vx64.CPU) vx64.HelperAction {
 		idx := e.stateSlot(hvm.StateArg0)
-		v, ok := e.sys.ReadReg(idx, e.sys.EL, &e.hooks)
+		v, ok := e.sys.ReadReg(idx, &e.hooks)
 		if !ok {
-			e.inject(ga64.ECUndefined, 0, 0, c.R[vx64.RPC])
+			e.raise(port.Exception{Kind: port.ExcUndefined, PC: c.R[vx64.RPC]})
 			return vx64.HelperExit
 		}
 		e.setRet(v)
@@ -589,20 +608,20 @@ func (e *Engine) registerHelpers() {
 	}
 	h[hSysWrite] = func(c *vx64.CPU) vx64.HelperAction {
 		idx, val := e.stateSlot(hvm.StateArg0), e.stateSlot(hvm.StateArg1)
-		if !e.sys.WriteReg(idx, val, e.sys.EL, &e.hooks) {
-			e.inject(ga64.ECUndefined, 0, 0, c.R[vx64.RPC])
+		if !e.sys.WriteReg(idx, val, &e.hooks) {
+			e.raise(port.Exception{Kind: port.ExcUndefined, PC: c.R[vx64.RPC]})
 			return vx64.HelperExit
 		}
 		return vx64.HelperContinue
 	}
 	h[hSVC] = func(c *vx64.CPU) vx64.HelperAction {
 		imm := e.stateSlot(hvm.StateArg0)
-		e.inject(ga64.ECSVC, uint32(imm), 0, c.R[vx64.RPC]+4)
+		e.raise(port.Exception{Kind: port.ExcSyscall, Imm: uint32(imm), PC: c.R[vx64.RPC] + 4})
 		return vx64.HelperExit
 	}
 	h[hBRK] = func(c *vx64.CPU) vx64.HelperAction {
 		imm := e.stateSlot(hvm.StateArg0)
-		e.inject(ga64.ECBRK, uint32(imm), 0, c.R[vx64.RPC])
+		e.raise(port.Exception{Kind: port.ExcBreakpoint, Imm: uint32(imm), PC: c.R[vx64.RPC]})
 		return vx64.HelperExit
 	}
 	h[hERet] = func(c *vx64.CPU) vx64.HelperAction {
@@ -626,7 +645,7 @@ func (e *Engine) registerHelpers() {
 		return vx64.HelperExit
 	}
 	h[hUndef] = func(c *vx64.CPU) vx64.HelperAction {
-		e.inject(ga64.ECUndefined, 0, 0, c.R[vx64.RPC])
+		e.raise(port.Exception{Kind: port.ExcUndefined, PC: c.R[vx64.RPC]})
 		return vx64.HelperExit
 	}
 	h[hFPFixup] = func(c *vx64.CPU) vx64.HelperAction {

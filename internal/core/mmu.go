@@ -1,7 +1,7 @@
 package core
 
 import (
-	"captive/internal/guest/ga64"
+	"captive/internal/guest/port"
 	"captive/internal/vx64"
 )
 
@@ -173,15 +173,13 @@ func (m *hostMMU) isProtected(gpaPage uint64) bool {
 	return m.protected[gpaPage]
 }
 
-// GA64 guest abort helpers shared with the engine.
-
-// guestWalk walks the guest page tables using the engine's physical
-// memory accessor, charging the walk cost to the CPU.
-func (e *Engine) guestWalk(va uint64) ga64.WalkResult {
+// guestWalk walks the guest page tables through the guest port, using the
+// engine's physical memory accessor and charging the walk cost to the CPU.
+func (e *Engine) guestWalk(va uint64) port.WalkResult {
 	if e.sys.MMUOn() {
 		e.cpu.Stats.Cycles += 4 * vx64.CostGuestWalkStep
 	}
-	return ga64.Walk(e.guestPhysRead64, &e.sys, va)
+	return e.sys.Walk(e.guestPhysRead64, va)
 }
 
 func (e *Engine) guestPhysRead64(gpa uint64) (uint64, bool) {

@@ -3,7 +3,7 @@ package core
 import (
 	"captive/internal/adl"
 	"captive/internal/gen"
-	"captive/internal/guest/ga64"
+	"captive/internal/guest/port"
 	"captive/internal/hvm"
 	"captive/internal/vx64"
 )
@@ -55,9 +55,10 @@ const (
 	softTLBAddend = 16 // hostVA - guestVA for the page
 )
 
-// NewQEMU creates the QEMU-style baseline engine in a host VM.
-func NewQEMU(vm *hvm.VM, module *gen.Module) (*Engine, error) {
-	e, err := New(vm, module)
+// NewQEMU creates the QEMU-style baseline engine in a host VM for the guest
+// architecture described by g.
+func NewQEMU(vm *hvm.VM, g port.Port, module *gen.Module) (*Engine, error) {
+	e, err := New(vm, g, module)
 	if err != nil {
 		return nil, err
 	}
@@ -180,15 +181,15 @@ func (e *Engine) qemuFill(c *vx64.CPU) vx64.HelperAction {
 	c.Stats.Cycles += costSoftTLBFill
 	w := e.guestWalk(va)
 	if !w.OK {
-		e.inject(ga64.AbortEC(false, e.sys.EL), ga64.AbortISS(true, write), va, guestPC)
+		e.raise(port.Exception{Kind: port.ExcDataAbort, Translation: true, Write: write, Addr: va, PC: guestPC})
 		return vx64.HelperExit
 	}
-	if !w.CheckAccess(write, e.sys.EL) {
-		e.inject(ga64.AbortEC(false, e.sys.EL), ga64.AbortISS(false, write), va, guestPC)
+	if !w.CheckAccess(write, e.sys.EL()) {
+		e.raise(port.Exception{Kind: port.ExcDataAbort, Write: write, Addr: va, PC: guestPC})
 		return vx64.HelperExit
 	}
 	gpa := w.PA
-	if ga64.IsDevice(gpa) {
+	if e.guest.IsDevice(gpa) {
 		e.Stats.MMIOEmulations++
 		if write {
 			e.vm.MMIO(gpa, true, width, val)
@@ -198,7 +199,7 @@ func (e *Engine) qemuFill(c *vx64.CPU) vx64.HelperAction {
 		return vx64.HelperContinue
 	}
 	if gpa+uint64(width) > e.vm.Layout.GuestRAMSize {
-		e.inject(ga64.AbortEC(false, e.sys.EL), ga64.AbortISS(true, write), va, guestPC)
+		e.raise(port.Exception{Kind: port.ExcDataAbort, Translation: true, Write: write, Addr: va, PC: guestPC})
 		return vx64.HelperExit
 	}
 	// Self-modifying code: a store into a page with translations flushes

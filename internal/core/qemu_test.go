@@ -1,22 +1,23 @@
-package core
+package core_test
 
 import (
 	"math"
 	"math/rand"
 	"testing"
 
+	"captive/internal/core"
 	"captive/internal/guest/ga64"
 	"captive/internal/guest/ga64/asm"
 	"captive/internal/hvm"
 )
 
-func newQemuEngine(t *testing.T) *Engine {
+func newQemuEngine(t *testing.T) *core.Engine {
 	t.Helper()
 	vm, err := hvm.New(hvm.Config{GuestRAMBytes: 8 << 20, CodeCacheBytes: 4 << 20, PTPoolBytes: 2 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := NewQEMU(vm, ga64.MustModule())
+	e, err := core.NewQEMU(vm, ga64.Port{}, ga64.MustModule())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestQemuExceptionsAndMMU(t *testing.T) {
 	handler.Mrs(4, ga64.SysCURRENTEL)
 	handler.Hlt(6)
 	himg, _ := handler.Assemble()
-	if err := e.vm.LoadGuestImage(himg, 0x8100); err != nil {
+	if err := e.LoadUser(himg, 0x8100); err != nil {
 		t.Fatal(err)
 	}
 	runCaptive(t, e, p)

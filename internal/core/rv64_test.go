@@ -1,0 +1,126 @@
+package core_test
+
+// The retargetability contract at the engine level: the same core.Engine —
+// same dispatcher, online pipeline, code cache, chaining — executes a
+// second guest architecture when handed a different port. These tests pin
+// the RV64 port's user-level semantics (ecall exit, identity memory,
+// wild-access halt) against the Captive and QEMU-baseline personalities.
+
+import (
+	"testing"
+
+	"captive/internal/core"
+	"captive/internal/guest/rv64"
+	rvasm "captive/internal/guest/rv64/asm"
+	"captive/internal/hvm"
+)
+
+func newRV64Engine(t *testing.T, qemu bool) *core.Engine {
+	t.Helper()
+	vm, err := hvm.New(hvm.Config{GuestRAMBytes: 8 << 20, CodeCacheBytes: 4 << 20, PTPoolBytes: 2 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e *core.Engine
+	if qemu {
+		e, err = core.NewQEMU(vm, rv64.Port{}, rv64.MustModule())
+	} else {
+		e, err = core.New(vm, rv64.Port{}, rv64.MustModule())
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// runRV64 assembles and runs an RV64 program to its ecall exit.
+func runRV64(t *testing.T, e *core.Engine, p *rvasm.Program) {
+	t.Helper()
+	img, err := p.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadImage(img, p.Org(), p.Org()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(2_000_000_000); err != nil {
+		t.Fatalf("run: %v (pc=%#x)", err, e.PC())
+	}
+	if h, code := e.Halted(); !h || code != 0 {
+		t.Fatalf("guest did not exit cleanly: halted=%v code=%#x", h, code)
+	}
+}
+
+func rv64Factorial() *rvasm.Program {
+	p := rvasm.New(0x1000)
+	p.Li(10, 12)
+	p.Li(11, 1)
+	p.Label("loop")
+	p.Mul(11, 11, 10)
+	p.Addi(10, 10, -1)
+	p.Bne(10, rvasm.X0, "loop")
+	p.Ecall()
+	return p
+}
+
+func TestRV64CaptiveEngine(t *testing.T) {
+	for _, qemu := range []bool{false, true} {
+		e := newRV64Engine(t, qemu)
+		runRV64(t, e, rv64Factorial())
+		if e.Reg(11) != 479001600 {
+			t.Errorf("qemu=%v: 12! = %d, want 479001600", qemu, e.Reg(11))
+		}
+		if e.GuestInstrs() != 39 {
+			t.Errorf("qemu=%v: retired %d instructions, want 39", qemu, e.GuestInstrs())
+		}
+		if !qemu && e.Stats.BlockChains == 0 {
+			t.Error("expected block chaining on the RV64 loop back-edge")
+		}
+	}
+}
+
+// TestRV64LazyMaterializationRegression pins the emitter fix for the O4
+// cross-block hazard the RV64 difftest exposed: a bank read created in the
+// entry block and consumed in both arms of a branch (the rem dividend after
+// O4 local propagation) must be materialized where it dominates both arms.
+func TestRV64LazyMaterializationRegression(t *testing.T) {
+	p := rvasm.New(0x1000)
+	p.Li(19, 0x12e0)
+	p.Li(25, 0xad2f4)
+	p.Rem(12, 19, 25) // dividend < divisor: result is the dividend itself
+	p.Li(20, 0)
+	p.Rem(13, 19, 20) // division by zero: rem yields the dividend
+	p.Div(14, 19, 20) // division by zero: div yields -1
+	p.Ecall()
+	for _, qemu := range []bool{false, true} {
+		e := newRV64Engine(t, qemu)
+		runRV64(t, e, p)
+		if e.Reg(12) != 0x12e0 || e.Reg(13) != 0x12e0 || e.Reg(14) != ^uint64(0) {
+			t.Errorf("qemu=%v: x12=%#x x13=%#x x14=%#x", qemu, e.Reg(12), e.Reg(13), e.Reg(14))
+		}
+	}
+}
+
+// TestRV64WildAccessHalts pins the user-level exception semantics: an
+// out-of-range access has no handler to vector to, so the port halts the
+// machine with its data-abort exit code.
+func TestRV64WildAccessHalts(t *testing.T) {
+	p := rvasm.New(0x1000)
+	p.Li(5, 0x7FFFFFFF00000000)
+	p.Ld(6, 5, 0)
+	p.Ecall()
+	img, err := p.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newRV64Engine(t, false)
+	if err := e.LoadImage(img, 0x1000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(2_000_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if h, code := e.Halted(); !h || code != rv64.ExitDataAbort {
+		t.Fatalf("halted=%v code=%#x, want data-abort exit %#x", h, code, uint64(rv64.ExitDataAbort))
+	}
+}

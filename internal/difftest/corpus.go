@@ -19,3 +19,23 @@ var RegressionSeeds = []struct {
 	{0xC0FFEE, 140}, {0xDECAF, 140}, {0xFACADE, 140}, {0xBEEF, 140},
 	{777, 200}, {31337, 200}, {65537, 200}, {1 << 40, 200},
 }
+
+// RV64RegressionSeeds is the committed corpus of the RV64 lane (CheckRV64).
+// Grow it exactly like RegressionSeeds: whenever an RV64 differential
+// failure is found and fixed, the exposing seed goes here. The initial
+// population covers every generator construct (branches, bounded loops,
+// calls, the full M-extension group, indexed addressing) at several program
+// sizes.
+var RV64RegressionSeeds = []struct {
+	Seed int64
+	Ops  int
+}{
+	{1, 40}, {2, 40}, {3, 40}, {4, 40}, {5, 40},
+	{6, 80}, {7, 80}, {8, 80}, {9, 80}, {10, 80},
+	{11, 120}, {12, 120}, {13, 120}, {14, 120}, {15, 120},
+	{16, 160}, {17, 160}, {18, 160}, {19, 160}, {20, 160},
+	{0x5EED1001, 60}, {0x5EED1002, 60}, {0x5EED1003, 60}, {0x5EED1004, 60},
+	{0x5EED1005, 100}, {0x5EED1006, 100}, {0x5EED1007, 100}, {0x5EED1008, 100},
+	{0x5C0FFEE, 140}, {0xDECAF1, 140}, {0xFACADE1, 140}, {0xBEEF1, 140},
+	{778, 200}, {31338, 200}, {65538, 200}, {1<<40 + 1, 200},
+}

@@ -46,6 +46,7 @@ type State struct {
 	Data     []byte // the probed data windows
 	Instrs   uint64 // retired guest instructions
 	ExitCode uint64
+	RV64     bool // state from the RV64 lane (register naming in Diff)
 }
 
 // Equal reports whether two states are bit-identical.
@@ -63,16 +64,20 @@ func (s State) Diff(o State) string {
 	if s.Instrs != o.Instrs {
 		fmt.Fprintf(&sb, "instr count %d vs %d; ", s.Instrs, o.Instrs)
 	}
-	l := regLayout()
-	for i := 0; i+8 <= l.nzcv && i+8 <= len(s.Regs) && i+8 <= len(o.Regs); i += 8 {
+	nzcv := regLayoutNZCV(s.RV64)
+	name := regName
+	if s.RV64 {
+		name = func(off int) string { return fmt.Sprintf("x%d", off/8) }
+	}
+	for i := 0; i+8 <= nzcv && i+8 <= len(s.Regs) && i+8 <= len(o.Regs); i += 8 {
 		a := binary.LittleEndian.Uint64(s.Regs[i:])
 		b := binary.LittleEndian.Uint64(o.Regs[i:])
 		if a != b {
-			fmt.Fprintf(&sb, "%s=%#x vs %#x; ", regName(i), a, b)
+			fmt.Fprintf(&sb, "%s=%#x vs %#x; ", name(i), a, b)
 		}
 	}
-	if len(s.Regs) > l.nzcv && len(o.Regs) > l.nzcv && s.Regs[l.nzcv] != o.Regs[l.nzcv] {
-		fmt.Fprintf(&sb, "NZCV=%04b vs %04b; ", s.Regs[l.nzcv], o.Regs[l.nzcv])
+	if len(s.Regs) > nzcv && len(o.Regs) > nzcv && s.Regs[nzcv] != o.Regs[nzcv] {
+		fmt.Fprintf(&sb, "NZCV=%04b vs %04b; ", s.Regs[nzcv], o.Regs[nzcv])
 	}
 	for i := range s.Data {
 		if i < len(o.Data) && s.Data[i] != o.Data[i] {
@@ -106,6 +111,14 @@ func regLayout() layout {
 		}
 	})
 	return layoutVal
+}
+
+// regLayoutNZCV returns the flags-byte offset for the lane's register file.
+func regLayoutNZCV(rv bool) int {
+	if rv {
+		return rv64NZCVOff()
+	}
+	return regLayout().nzcv
 }
 
 // regName maps a register-file byte offset to a friendly name.
@@ -162,9 +175,9 @@ func Run(p *Program, id EngineID) (State, error) {
 		}
 		var e *core.Engine
 		if id.Name == "qemu" {
-			e, err = core.NewQEMU(vm, module)
+			e, err = core.NewQEMU(vm, ga64.Port{}, module)
 		} else {
-			e, err = core.New(vm, module)
+			e, err = core.New(vm, ga64.Port{}, module)
 		}
 		if err != nil {
 			return State{}, err
@@ -203,18 +216,23 @@ type Mismatch struct {
 	ID        EngineID
 	Detail    string
 	Minimized []uint32 // minimized instruction words of the main image
+	RV64      bool     // failure from the RV64 lane
 }
 
 // Error implements error.
 func (m *Mismatch) Error() string {
+	arch, nop, org := "ga64", nopWord, uint32(Org)
+	if m.RV64 {
+		arch, nop, org = "rv64", uint32(rvNopWord), uint32(RVOrg)
+	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "difftest: seed %d: %s diverges from %s: %s\n", m.Seed, m.ID, Golden, m.Detail)
-	fmt.Fprintf(&sb, "minimized program (%d live words):\n", countLive(m.Minimized))
+	fmt.Fprintf(&sb, "difftest: %s seed %d: %s diverges from %s: %s\n", arch, m.Seed, m.ID, Golden, m.Detail)
+	fmt.Fprintf(&sb, "minimized program (%d live words):\n", countLiveNop(m.Minimized, nop))
 	for i, w := range m.Minimized {
-		if w == nopWord {
+		if w == nop {
 			continue
 		}
-		fmt.Fprintf(&sb, "  %#06x: %#08x\n", Org+4*i, w)
+		fmt.Fprintf(&sb, "  %#06x: %#08x\n", org+uint32(4*i), w)
 	}
 	return sb.String()
 }
@@ -248,10 +266,12 @@ func Check(seed int64, ops int) error {
 
 var nopWord = ga64.EncS(ga64.OpNop, 0, 0, 0)
 
-func countLive(words []uint32) int {
+func countLive(words []uint32) int { return countLiveNop(words, nopWord) }
+
+func countLiveNop(words []uint32, nop uint32) int {
 	n := 0
 	for _, w := range words {
-		if w != nopWord {
+		if w != nop {
 			n++
 		}
 	}
@@ -287,21 +307,26 @@ func Minimize(p *Program, id EngineID) []uint32 {
 	return minimizeWords(words, stillFails)
 }
 
-// minimizeWords is the reduction core: greedily NOP out words while the
-// predicate keeps reporting failure, looping to a fixpoint. A program that
-// does not fail is returned unchanged.
+// minimizeWords is the GA64 reduction entry point.
 func minimizeWords(words []uint32, stillFails func([]uint32) bool) []uint32 {
+	return minimizeWordsNop(words, nopWord, stillFails)
+}
+
+// minimizeWordsNop is the reduction core: greedily replace words with the
+// lane's NOP while the predicate keeps reporting failure, looping to a
+// fixpoint. A program that does not fail is returned unchanged.
+func minimizeWordsNop(words []uint32, nop uint32, stillFails func([]uint32) bool) []uint32 {
 	if !stillFails(words) {
 		return words // not reproducible under re-run; return unreduced
 	}
 	for changed := true; changed; {
 		changed = false
 		for i := range words {
-			if words[i] == nopWord {
+			if words[i] == nop {
 				continue
 			}
 			save := words[i]
-			words[i] = nopWord
+			words[i] = nop
 			if stillFails(words) {
 				changed = true
 			} else {

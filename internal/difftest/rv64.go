@@ -1,0 +1,511 @@
+package difftest
+
+// The RV64 differential-testing lane: the retargetability loop-closer. A
+// seeded random RV64I+M program generator plus a harness that runs each
+// program through the user-level rv64.Machine (the golden model), the
+// Captive DBT via rv64.Port across offline levels O1–O4 and the QEMU-style
+// baseline, asserting bit-identical x-registers, memory windows and
+// instruction counts — the same contract the GA64 lane enforces, proving
+// the engines are guest-agnostic end to end.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"captive/internal/core"
+	"captive/internal/guest/rv64"
+	"captive/internal/guest/rv64/asm"
+	"captive/internal/hvm"
+	"captive/internal/ssa"
+)
+
+// Guest memory map for generated RV64 programs. Load/store offsets are
+// 12-bit signed, so ±4 KiB probe windows around each base register cover
+// every reachable address.
+const (
+	RVOrg      = 0x1000   // program load/entry address
+	RVBuf0     = 0x200000 // x5 data buffer base
+	RVBuf1     = 0x210000 // x6 data buffer base
+	RVStackTop = 0x300000 // x2 (sp)
+
+	RVProbeStart = RVBuf0 - 0x1000
+	RVProbeEnd   = RVBuf1 + 0x1000
+	RVStackProbe = RVStackTop - 0x1000
+	RVStackEnd   = RVStackTop + 0x1000
+)
+
+// Register conventions inside generated RV64 programs.
+const (
+	rvBase0  = 5  // x5 = RVBuf0
+	rvBase1  = 6  // x6 = RVBuf1
+	rvIdx    = 7  // bounded index (0..255), written only by li
+	rvMinDst = 10 // destinations drawn from [x10, x27]
+	rvMaxDst = 27
+	rvConst  = 28 // random seeded constant
+	rvCtr    = 29 // bounded-loop counter
+	rvAddr   = 30 // scratch for computed addresses
+)
+
+// RVGolden is the reference configuration of the RV64 lane.
+var RVGolden = EngineID{Name: "interp", Level: ssa.O4}
+
+// RV64Configs returns the RV64 engine matrix: the golden interpreter at O1
+// (offline-optimizer differential), the Captive DBT at every offline level
+// through rv64.Port, and the QEMU-style baseline.
+func RV64Configs() []EngineID {
+	return []EngineID{
+		{Name: "interp", Level: ssa.O1},
+		{Name: "captive", Level: ssa.O1},
+		{Name: "captive", Level: ssa.O2},
+		{Name: "captive", Level: ssa.O3},
+		{Name: "captive", Level: ssa.O4},
+		{Name: "qemu", Level: ssa.O4},
+	}
+}
+
+// rvNopWord is addi x0, x0, 0 — the minimizer's replacement word.
+const rvNopWord = 0x00000013
+
+// rv64NZCVOff returns the flags-byte offset in the RV64 register file.
+func rv64NZCVOff() int {
+	return rv64.MustModule().Registry.Bank("NZCV").Offset
+}
+
+// RunRV64 executes a generated RV64 program on one engine configuration.
+func RunRV64(p *Program, id EngineID) (State, error) {
+	switch id.Name {
+	case "interp":
+		m, err := rv64.NewAt(RAMBytes, id.Level)
+		if err != nil {
+			return State{}, err
+		}
+		if err := m.LoadProgram(p.Image, RVOrg); err != nil {
+			return State{}, err
+		}
+		if err := m.Run(stepLimit); err != nil {
+			return State{}, fmt.Errorf("%s: %w", id, err)
+		}
+		st := State{RV64: true, Regs: m.RegState(), Instrs: m.Instrs, ExitCode: m.ExitCode}
+		st.Data = append(st.Data, m.Mem[RVProbeStart:RVProbeEnd]...)
+		st.Data = append(st.Data, m.Mem[RVStackProbe:RVStackEnd]...)
+		return st, nil
+
+	case "captive", "qemu":
+		module, err := rv64.NewModule(id.Level)
+		if err != nil {
+			return State{}, err
+		}
+		vm, err := hvm.New(hvm.Config{GuestRAMBytes: RAMBytes, CodeCacheBytes: 4 << 20, PTPoolBytes: 2 << 20})
+		if err != nil {
+			return State{}, err
+		}
+		var e *core.Engine
+		if id.Name == "qemu" {
+			e, err = core.NewQEMU(vm, rv64.Port{}, module)
+		} else {
+			e, err = core.New(vm, rv64.Port{}, module)
+		}
+		if err != nil {
+			return State{}, err
+		}
+		if err := e.LoadImage(p.Image, RVOrg, RVOrg); err != nil {
+			return State{}, err
+		}
+		if err := e.Run(cycleBudget); err != nil {
+			return State{}, fmt.Errorf("%s: %w", id, err)
+		}
+		halted, code := e.Halted()
+		if !halted {
+			return State{}, fmt.Errorf("%s: did not halt", id)
+		}
+		st := State{RV64: true, Regs: e.RegState(), Instrs: e.GuestInstrs(), ExitCode: code}
+		buf := make([]byte, (RVProbeEnd-RVProbeStart)+(RVStackEnd-RVStackProbe))
+		if err := e.ReadRAM(RVProbeStart, buf[:RVProbeEnd-RVProbeStart]); err != nil {
+			return State{}, err
+		}
+		if err := e.ReadRAM(RVStackProbe, buf[RVProbeEnd-RVProbeStart:]); err != nil {
+			return State{}, err
+		}
+		st.Data = buf
+		return st, nil
+	}
+	return State{}, fmt.Errorf("difftest: unknown rv64 engine %q", id.Name)
+}
+
+// CheckRV64 generates the RV64 program for a seed, runs it through the full
+// engine matrix and compares every configuration against the golden
+// interpreter, minimizing on divergence.
+func CheckRV64(seed int64, ops int) error {
+	p, err := GenerateRV64(seed, ops)
+	if err != nil {
+		return fmt.Errorf("difftest: rv64 seed %d: generate: %w", seed, err)
+	}
+	golden, err := RunRV64(p, RVGolden)
+	if err != nil {
+		return fmt.Errorf("difftest: rv64 seed %d: golden run: %w", seed, err)
+	}
+	for _, id := range RV64Configs() {
+		st, err := RunRV64(p, id)
+		if err != nil {
+			return fmt.Errorf("difftest: rv64 seed %d: %w", seed, err)
+		}
+		if st.Equal(golden) {
+			continue
+		}
+		detail := golden.Diff(st)
+		words := MinimizeRV64(p, id)
+		return &Mismatch{Seed: seed, ID: id, Detail: detail, Minimized: words, RV64: true}
+	}
+	return nil
+}
+
+// MinimizeRV64 shrinks a failing RV64 program by NOP replacement to a
+// fixpoint, exactly like the GA64 minimizer.
+func MinimizeRV64(p *Program, id EngineID) []uint32 {
+	words := make([]uint32, len(p.Image)/4)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint32(p.Image[4*i:])
+	}
+	stillFails := func(ws []uint32) bool {
+		img := make([]byte, 4*len(ws))
+		for i, w := range ws {
+			binary.LittleEndian.PutUint32(img[4*i:], w)
+		}
+		cand := &Program{Seed: p.Seed, Image: img}
+		g, err := RunRV64(cand, RVGolden)
+		if err != nil || g.ExitCode != 0 {
+			// Candidates must still reach ecall cleanly on the golden model:
+			// NOPing the prologue turns memory accesses wild, and a
+			// wild-access halt is counted block-granular by the DBT — a
+			// trivial, uninteresting divergence that would hijack the
+			// reduction.
+			return false
+		}
+		st, err := RunRV64(cand, id)
+		if err != nil {
+			return false
+		}
+		return !st.Equal(g)
+	}
+	return minimizeWordsNop(words, rvNopWord, stillFails)
+}
+
+// --- generator ---------------------------------------------------------------
+
+// GenerateRV64 builds a random RV64I+M program from a seed. The prologue
+// seeds every architectural register deterministically; the body is ops
+// random constructs (straight-line instructions, forward branches, bounded
+// loops, calls); the program always terminates with ecall.
+func GenerateRV64(seed int64, ops int) (*Program, error) {
+	rng := rand.New(rand.NewSource(seed))
+	p := asm.New(RVOrg)
+	g := &rvGenerator{rng: rng, p: p}
+
+	g.prologue()
+	for i := 0; i < ops; i++ {
+		g.construct()
+	}
+	p.Ecall()
+	g.epilogue()
+
+	img, err := p.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Seed: seed, Ops: ops, Image: img}, nil
+}
+
+type rvGenerator struct {
+	rng *rand.Rand
+	p   *asm.Program
+
+	labels int
+	fns    []string
+}
+
+func (g *rvGenerator) label(prefix string) string {
+	g.labels++
+	return prefix + "_" + strconv.Itoa(g.labels)
+}
+
+// dst draws a destination register; occasionally x0, so the hardwired-zero
+// write-drop is exercised through every engine.
+func (g *rvGenerator) dst() asm.Reg {
+	if g.rng.Intn(16) == 0 {
+		return asm.X0
+	}
+	return asm.Reg(rvMinDst + g.rng.Intn(rvMaxDst-rvMinDst+1))
+}
+
+// src draws a source register: usually a destination-range register, with
+// occasional reads of x0 and the special-role registers (always defined).
+func (g *rvGenerator) src() asm.Reg {
+	if g.rng.Intn(8) == 0 {
+		return []asm.Reg{asm.X0, asm.RA, asm.SP, rvBase0, rvBase1, rvIdx, rvConst, rvCtr}[g.rng.Intn(8)]
+	}
+	return asm.Reg(rvMinDst + g.rng.Intn(rvMaxDst-rvMinDst+1))
+}
+
+// bufAddr picks a base register and an aligned signed 12-bit offset inside
+// the probed data windows.
+func (g *rvGenerator) bufAddr(align int32) (asm.Reg, int32) {
+	base := []asm.Reg{rvBase0, rvBase1, asm.SP}[g.rng.Intn(3)]
+	off := int32(g.rng.Intn(1<<12)) - 1<<11 // [-2048, 2047]
+	off &^= align - 1
+	return base, off
+}
+
+func (g *rvGenerator) imm12() int32 { return int32(g.rng.Intn(1<<12)) - 1<<11 }
+
+// prologue seeds every architectural register deterministically.
+func (g *rvGenerator) prologue() {
+	p, rng := g.p, g.rng
+	p.Li(rvBase0, RVBuf0)
+	p.Li(rvBase1, RVBuf1)
+	p.Li(asm.SP, RVStackTop)
+	p.Li(asm.RA, RVOrg) // defined; overwritten by jal before any ret
+	for r := asm.Reg(rvMinDst); r <= rvMaxDst; r++ {
+		p.Li(r, rng.Uint64()>>(uint(rng.Intn(5))*13))
+	}
+	p.Li(rvIdx, uint64(rng.Intn(256)))
+	p.Li(rvConst, rng.Uint64())
+	p.Li(rvCtr, 0)
+	p.Li(rvAddr, RVBuf0)
+	// x3, x4, x8, x9 (gp/tp/s0/s1 in the ABI) get small seeds too: they are
+	// plain registers to the model and legal sources.
+	p.Li(3, uint64(rng.Intn(1<<16)))
+	p.Li(4, uint64(rng.Intn(1<<16)))
+	p.Li(8, rng.Uint64()>>32)
+	p.Li(9, rng.Uint64()>>16)
+}
+
+// epilogue emits the bodies of any functions the stream called.
+func (g *rvGenerator) epilogue() {
+	for _, fn := range g.fns {
+		g.p.Label(fn)
+		for i, n := 0, 1+g.rng.Intn(3); i < n; i++ {
+			g.simpleOp()
+		}
+		g.p.Ret()
+	}
+}
+
+// construct emits one random construct.
+func (g *rvGenerator) construct() {
+	switch g.rng.Intn(16) {
+	case 0:
+		g.forwardBranch()
+	case 1:
+		g.boundedLoop()
+	case 2:
+		g.call()
+	default:
+		g.simpleOp()
+	}
+}
+
+func (g *rvGenerator) forwardBranch() {
+	p := g.p
+	l := g.label("fwd")
+	a, b := g.src(), g.src()
+	switch g.rng.Intn(6) {
+	case 0:
+		p.Beq(a, b, l)
+	case 1:
+		p.Bne(a, b, l)
+	case 2:
+		p.Blt(a, b, l)
+	case 3:
+		p.Bge(a, b, l)
+	case 4:
+		p.Bltu(a, b, l)
+	default:
+		p.Bgeu(a, b, l)
+	}
+	for i, n := 0, 1+g.rng.Intn(3); i < n; i++ {
+		g.simpleOp()
+	}
+	p.Label(l)
+}
+
+func (g *rvGenerator) boundedLoop() {
+	p := g.p
+	l := g.label("loop")
+	p.Li(rvCtr, uint64(1+g.rng.Intn(8)))
+	p.Label(l)
+	for i, n := 0, 1+g.rng.Intn(3); i < n; i++ {
+		g.simpleOp()
+	}
+	p.Addi(rvCtr, rvCtr, -1)
+	p.Bne(rvCtr, asm.X0, l)
+}
+
+func (g *rvGenerator) call() {
+	if len(g.fns) == 0 || g.rng.Intn(2) == 0 {
+		g.fns = append(g.fns, g.label("fn"))
+	}
+	g.p.Jal(asm.RA, g.fns[g.rng.Intn(len(g.fns))])
+}
+
+// simpleOp emits one straight-line instruction (no control flow).
+func (g *rvGenerator) simpleOp() {
+	p, rng := g.p, g.rng
+	rd, rs1, rs2 := g.dst(), g.src(), g.src()
+	switch rng.Intn(20) {
+	case 0:
+		switch rng.Intn(5) {
+		case 0:
+			p.Add(rd, rs1, rs2)
+		case 1:
+			p.Sub(rd, rs1, rs2)
+		case 2:
+			p.Xor(rd, rs1, rs2)
+		case 3:
+			p.Or(rd, rs1, rs2)
+		default:
+			p.And(rd, rs1, rs2)
+		}
+	case 1:
+		switch rng.Intn(3) {
+		case 0:
+			p.Sll(rd, rs1, rs2)
+		case 1:
+			p.Srl(rd, rs1, rs2)
+		default:
+			p.Sra(rd, rs1, rs2)
+		}
+	case 2:
+		if rng.Intn(2) == 0 {
+			p.Slt(rd, rs1, rs2)
+		} else {
+			p.Sltu(rd, rs1, rs2)
+		}
+	case 3: // M extension: full multiply group incl. high halves
+		switch rng.Intn(4) {
+		case 0:
+			p.Mul(rd, rs1, rs2)
+		case 1:
+			p.Mulh(rd, rs1, rs2)
+		case 2:
+			p.Mulhsu(rd, rs1, rs2)
+		default:
+			p.Mulhu(rd, rs1, rs2)
+		}
+	case 4: // M extension: divide group (zero divisors arise naturally)
+		switch rng.Intn(4) {
+		case 0:
+			p.Div(rd, rs1, rs2)
+		case 1:
+			p.Divu(rd, rs1, rs2)
+		case 2:
+			p.Rem(rd, rs1, rs2)
+		default:
+			p.Remu(rd, rs1, rs2)
+		}
+	case 5: // 32-bit (W) forms
+		switch rng.Intn(6) {
+		case 0:
+			p.Addw(rd, rs1, rs2)
+		case 1:
+			p.Subw(rd, rs1, rs2)
+		case 2:
+			p.Sllw(rd, rs1, rs2)
+		case 3:
+			p.Srlw(rd, rs1, rs2)
+		case 4:
+			p.Sraw(rd, rs1, rs2)
+		default:
+			p.Mulw(rd, rs1, rs2)
+		}
+	case 6:
+		switch rng.Intn(6) {
+		case 0:
+			p.Addi(rd, rs1, g.imm12())
+		case 1:
+			p.Slti(rd, rs1, g.imm12())
+		case 2:
+			p.Sltiu(rd, rs1, g.imm12())
+		case 3:
+			p.Xori(rd, rs1, g.imm12())
+		case 4:
+			p.Ori(rd, rs1, g.imm12())
+		default:
+			p.Andi(rd, rs1, g.imm12())
+		}
+	case 7:
+		switch rng.Intn(3) {
+		case 0:
+			p.Slli(rd, rs1, uint32(rng.Intn(64)))
+		case 1:
+			p.Srli(rd, rs1, uint32(rng.Intn(64)))
+		default:
+			p.Srai(rd, rs1, uint32(rng.Intn(64)))
+		}
+	case 8:
+		switch rng.Intn(4) {
+		case 0:
+			p.Addiw(rd, rs1, g.imm12())
+		case 1:
+			p.Slliw(rd, rs1, uint32(rng.Intn(32)))
+		case 2:
+			p.Srliw(rd, rs1, uint32(rng.Intn(32)))
+		default:
+			p.Sraiw(rd, rs1, uint32(rng.Intn(32)))
+		}
+	case 9:
+		p.Lui(rd, uint32(rng.Intn(1<<20)))
+	case 10: // auipc exercises the translation-time PC constant folding
+		p.Auipc(rd, uint32(rng.Intn(1<<8)))
+	case 11: // 64-bit load/store
+		base, off := g.bufAddr(8)
+		if rng.Intn(2) == 0 {
+			p.Ld(rd, base, off)
+		} else {
+			p.Sd(rs1, base, off)
+		}
+	case 12: // narrow loads (zero- and sign-extending)
+		base, off := g.bufAddr(4)
+		switch rng.Intn(5) {
+		case 0:
+			p.Lw(rd, base, off)
+		case 1:
+			p.Lwu(rd, base, off)
+		case 2:
+			p.Lh(rd, base, off&^1)
+		case 3:
+			p.Lhu(rd, base, off&^1)
+		default:
+			p.Lb(rd, base, off)
+		}
+	case 13: // narrow stores and the unsigned byte load
+		base, off := g.bufAddr(4)
+		switch rng.Intn(4) {
+		case 0:
+			p.Sw(rs1, base, off)
+		case 1:
+			p.Sh(rs1, base, off&^1)
+		case 2:
+			p.Sb(rs1, base, off)
+		default:
+			p.Lbu(rd, base, off)
+		}
+	case 14: // indexed addressing through the bounded index register
+		p.Slli(rvAddr, rvIdx, 3)
+		p.Add(rvAddr, []asm.Reg{rvBase0, rvBase1}[rng.Intn(2)], rvAddr)
+		if rng.Intn(2) == 0 {
+			p.Ld(rd, rvAddr, 0)
+		} else {
+			p.Sd(rs1, rvAddr, 0)
+		}
+	case 15: // refresh the index register (keeps indexed accesses bounded)
+		p.Li(rvIdx, uint64(rng.Intn(256)))
+	case 16:
+		p.Fence()
+	case 17:
+		p.Nop()
+	default:
+		p.Mv(rd, rs1)
+	}
+}

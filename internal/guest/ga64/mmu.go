@@ -1,5 +1,7 @@
 package ga64
 
+import "captive/internal/guest/port"
+
 // Guest MMU: a 4-level, 4 KiB-page translation regime over 48-bit virtual
 // addresses. The upper 16 VA bits select the translation table: all-zeros →
 // TTBR0 (user half), all-ones → TTBR1 (kernel half), anything else is a
@@ -33,18 +35,13 @@ func IsDevice(pa uint64) bool {
 	return pa >= DeviceBase && pa < DeviceBase+DeviceSize
 }
 
-// WalkResult is the outcome of a guest page-table walk.
-type WalkResult struct {
-	PA    uint64 // translated physical address
-	Write bool   // page is writable
-	User  bool   // page is EL0-accessible
-	OK    bool   // translation exists
-	Block bool   // mapped by a 2 MiB block entry
-}
+// WalkResult is the outcome of a guest page-table walk (the shared
+// guest-port type; Block marks 2 MiB entries here).
+type WalkResult = port.WalkResult
 
 // PhysRead64 reads a 64-bit word of guest physical memory; ok is false for
 // out-of-range addresses. Each engine supplies its own accessor.
-type PhysRead64 func(pa uint64) (uint64, bool)
+type PhysRead64 = port.PhysRead64
 
 // Walk translates va under the system state. With the MMU off it is the
 // identity with full permissions. The walk itself performs up to four
@@ -90,23 +87,6 @@ func Walk(read PhysRead64, s *Sys, va uint64) WalkResult {
 		table = pte & PTEAddrMask
 	}
 	return WalkResult{}
-}
-
-// CheckAccess evaluates access permissions for a successful walk. write is
-// the access kind; el the current exception level. GA64 write protection
-// applies to EL1 too (simplification documented in DESIGN.md, and what makes
-// guest-kernel writes to write-protected translated code detectable).
-func (w WalkResult) CheckAccess(write bool, el uint8) bool {
-	if !w.OK {
-		return false
-	}
-	if write && !w.Write {
-		return false
-	}
-	if el == 0 && !w.User {
-		return false
-	}
-	return true
 }
 
 // AbortISS builds the data/instruction abort syndrome for a failed access.

@@ -5,6 +5,8 @@ package ga64
 // differs (helper calls from generated code, direct calls from the
 // interpreter).
 
+import "captive/internal/guest/port"
+
 // System register indices (the sr field of MRS/MSR).
 const (
 	SysTTBR0     = 0  // translation table base, low half (user)
@@ -106,14 +108,9 @@ func (s *Sys) ERet() (newPC uint64, nzcv uint8) {
 	return s.ELR, uint8(s.SPSR >> 4 & 0xF)
 }
 
-// Hooks are the runtime services sysreg accesses may need.
-type Hooks struct {
-	// CycleCount returns the current virtual counter value.
-	CycleCount func() uint64
-	// TranslationChanged is invoked when TTBR0/TTBR1/SCTLR writes change
-	// the translation regime (engines must drop cached translations).
-	TranslationChanged func()
-}
+// Hooks are the runtime services sysreg accesses may need (the shared
+// guest-port type: TranslationChanged fires on TTBR0/TTBR1/SCTLR writes).
+type Hooks = port.Hooks
 
 // ReadReg reads a system register. ok is false for privilege violations
 // (which the engines turn into undefined-instruction exceptions).

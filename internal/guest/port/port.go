@@ -1,0 +1,162 @@
+// Package port is the guest-port abstraction layer: the seam between the
+// execution engines (internal/core, internal/interp) and a concrete guest
+// architecture model. The paper's central claim is retargetability — new
+// guests are generated from the ADL and run through the *same* DBT
+// hypervisor (§2.2, §3.3) — so everything the online engines need from a
+// guest beyond its generated gen.Module is captured here: the register-file
+// bank names, exception classification and injection, system-register
+// dispatch, the guest MMU walker and the device-address predicate. The
+// engines consume only these interfaces; internal/guest/ga64 and
+// internal/guest/rv64 provide the implementations.
+package port
+
+import (
+	"captive/internal/gen"
+	"captive/internal/ssa"
+)
+
+// PhysRead64 reads a 64-bit word of guest physical memory; ok is false for
+// out-of-range addresses. Each engine supplies its own accessor, so the
+// walker stays engine-agnostic.
+type PhysRead64 func(pa uint64) (uint64, bool)
+
+// WalkResult is the outcome of a guest page-table walk.
+type WalkResult struct {
+	PA    uint64 // translated physical address
+	Write bool   // page is writable
+	User  bool   // page is accessible from the unprivileged level
+	OK    bool   // translation exists
+	Block bool   // mapped by a large (block) entry
+}
+
+// CheckAccess evaluates access permissions for a successful walk. write is
+// the access kind; el the current exception level. Write protection applies
+// at every level (the GA64 simplification documented in DESIGN.md — and what
+// makes guest-kernel writes to write-protected translated code detectable);
+// ports whose walkers grant full permissions (identity-mapped user-level
+// guests) always pass.
+func (w WalkResult) CheckAccess(write bool, el uint8) bool {
+	if !w.OK {
+		return false
+	}
+	if write && !w.Write {
+		return false
+	}
+	if el == 0 && !w.User {
+		return false
+	}
+	return true
+}
+
+// Hooks are the runtime services guest system operations may need. The
+// engine wires them after creating the port's Sys and passes them to every
+// ReadReg/WriteReg call — ports must use the *Hooks they are handed at call
+// time, never snapshot hooks inside NewSys.
+type Hooks struct {
+	// CycleCount returns the current virtual counter value.
+	CycleCount func() uint64
+	// TranslationChanged is invoked when system-register writes change the
+	// translation regime (engines must drop cached translations).
+	TranslationChanged func()
+}
+
+// ExcKind classifies an engine-raised guest exception. The engines only
+// *classify*; how a class maps onto architectural state (syndrome registers,
+// vector offsets) — or whether it terminates a user-level machine — is the
+// port's business.
+type ExcKind uint8
+
+// Exception kinds.
+const (
+	// ExcInsnAbort is a failed instruction fetch translation/permission.
+	ExcInsnAbort ExcKind = iota
+	// ExcDataAbort is a failed data access translation/permission.
+	ExcDataAbort
+	// ExcUndefined is an undecodable instruction or a privilege violation
+	// on a system-register access.
+	ExcUndefined
+	// ExcSyscall is a supervisor call (GA64 svc).
+	ExcSyscall
+	// ExcBreakpoint is a breakpoint trap (GA64 brk).
+	ExcBreakpoint
+)
+
+// Exception describes one guest exception to be injected.
+type Exception struct {
+	Kind        ExcKind
+	Translation bool   // aborts: translation fault (vs permission fault)
+	Write       bool   // data aborts: the access was a write
+	Addr        uint64 // aborts: faulting virtual address
+	Imm         uint32 // syscall/breakpoint immediate
+	PC          uint64 // preferred return address (faulting instruction for
+	// aborts, next instruction for syscalls)
+}
+
+// Entry is the outcome of an exception injection: either a redirect to the
+// guest's handler, or — for user-level ports with no exception model — a
+// machine halt with an exit code.
+type Entry struct {
+	PC   uint64 // next guest PC (when !Halt)
+	Halt bool   // the exception terminates the machine
+	Code uint64 // exit code when Halt
+}
+
+// Sys is the per-machine guest system state: system registers, privilege
+// level, the exception model and the MMU configuration. One Sys exists per
+// engine instance and is never shared.
+type Sys interface {
+	// Reset puts the system state into its architectural reset state.
+	Reset()
+	// EL returns the current exception (privilege) level. Level 0 is the
+	// unprivileged level; engines run it in the host's user ring.
+	EL() uint8
+	// MMUOn reports whether guest address translation is enabled. Engines
+	// use it only for cost accounting; Walk must behave correctly either
+	// way.
+	MMUOn() bool
+	// Walk translates a guest virtual address under the current system
+	// state, reading guest page tables through read. With translation
+	// disabled (or for flat-memory ports) it is the identity with full
+	// permissions.
+	Walk(read PhysRead64, va uint64) WalkResult
+	// Take performs the architectural exception entry for ex and returns
+	// where execution continues. nzcv is the current flags nibble (saved by
+	// ports that bank it).
+	Take(ex Exception, nzcv uint8) Entry
+	// ERet performs the architectural exception return, restoring the
+	// privilege level, and returns the new PC and flags.
+	ERet() (newPC uint64, nzcv uint8)
+	// ReadReg reads a system register (the sys_read intrinsic). ok is false
+	// for privilege violations, which engines turn into ExcUndefined.
+	ReadReg(idx uint64, h *Hooks) (v uint64, ok bool)
+	// WriteReg writes a system register (the sys_write intrinsic). ok is
+	// false for privilege violations or read-only registers.
+	WriteReg(idx uint64, v uint64, h *Hooks) (ok bool)
+}
+
+// Banks names the register-file banks the engines address directly. GPR and
+// Flags are required; FP is empty for guests without a floating-point bank.
+type Banks struct {
+	GPR   string // 64-bit general-purpose bank ("X")
+	Flags string // byte-wide flags bank ("NZCV")
+	FP    string // low-half FP/vector bank ("VL"), or "" if none
+}
+
+// Port is one guest architecture as seen by the execution engines. A Port is
+// stateless and shareable; per-machine state lives in the Sys it creates.
+type Port interface {
+	// Arch returns the guest architecture name (matches the ADL arch
+	// declaration).
+	Arch() string
+	// Module builds (or returns the cached) generated module at the given
+	// offline optimization level.
+	Module(level ssa.OptLevel) (*gen.Module, error)
+	// NewSys creates the per-machine system state.
+	NewSys() Sys
+	// Banks names the register-file banks.
+	Banks() Banks
+	// IsDevice reports whether a guest physical address falls in the
+	// memory-mapped I/O window (trap-and-emulate in the engines). Ports
+	// without devices return false.
+	IsDevice(pa uint64) bool
+}

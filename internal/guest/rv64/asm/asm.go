@@ -1,0 +1,424 @@
+// Package asm is a builder-style assembler for RV64I+M guest programs: the
+// RISC-V counterpart of internal/guest/ga64/asm, used by the differential
+// tester, the retarget benchmarks and the examples. It supports labels with
+// backward and forward references and the li/mv pseudo-instructions.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Reg is a guest register number (x0–x31; x0 is hardwired zero).
+type Reg = uint32
+
+// Conventional register aliases.
+const (
+	X0 Reg = 0 // hardwired zero
+	RA Reg = 1 // return address (jal/jalr link)
+	SP Reg = 2 // stack pointer
+)
+
+type fixup struct {
+	pos   int // word index of the instruction to patch
+	label string
+	kind  uint8 // 'b' = B-format branch, 'j' = J-format jal
+}
+
+// Program is an assembly buffer. Create with New, emit instructions, close
+// with Assemble.
+type Program struct {
+	words  []uint32
+	labels map[string]int // word index
+	fixups []fixup
+	org    uint64
+	err    error
+}
+
+// New creates a program that will be loaded at guest address org.
+func New(org uint64) *Program {
+	return &Program{labels: make(map[string]int), org: org}
+}
+
+// Org returns the program's load address.
+func (p *Program) Org() uint64 { return p.org }
+
+// PC returns the address of the next emitted word.
+func (p *Program) PC() uint64 { return p.org + uint64(len(p.words))*4 }
+
+func (p *Program) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf("rv64 asm: "+format, args...)
+	}
+}
+
+func (p *Program) emit(w uint32) *Program {
+	p.words = append(p.words, w)
+	return p
+}
+
+// Label defines a label at the current position.
+func (p *Program) Label(name string) *Program {
+	if _, dup := p.labels[name]; dup {
+		p.fail("label %q redefined", name)
+		return p
+	}
+	p.labels[name] = len(p.words)
+	return p
+}
+
+// Assemble resolves fixups and returns the little-endian image.
+func (p *Program) Assemble() ([]byte, error) {
+	for _, f := range p.fixups {
+		target, ok := p.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("rv64 asm: undefined label %q", f.label)
+		}
+		delta := int32(target-f.pos) * 4 // byte offset from the instruction
+		w := p.words[f.pos]
+		switch f.kind {
+		case 'b':
+			if delta < -(1<<12) || delta >= 1<<12 {
+				return nil, fmt.Errorf("rv64 asm: branch to %q out of range (%d bytes)", f.label, delta)
+			}
+			w |= encBImm(delta)
+		case 'j':
+			if delta < -(1<<20) || delta >= 1<<20 {
+				return nil, fmt.Errorf("rv64 asm: jal to %q out of range (%d bytes)", f.label, delta)
+			}
+			w |= encJImm(delta)
+		}
+		p.words[f.pos] = w
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	out := make([]byte, len(p.words)*4)
+	for i, w := range p.words {
+		binary.LittleEndian.PutUint32(out[i*4:], w)
+	}
+	return out, nil
+}
+
+// --- raw format encoders ----------------------------------------------------
+
+func encR(f7, rs2, rs1, f3, rd, op uint32) uint32 {
+	return f7<<25 | (rs2&31)<<20 | (rs1&31)<<15 | f3<<12 | (rd&31)<<7 | op
+}
+
+func encI(imm int32, rs1, f3, rd, op uint32) uint32 {
+	return uint32(imm)&0xFFF<<20 | (rs1&31)<<15 | f3<<12 | (rd&31)<<7 | op
+}
+
+func encS(imm int32, rs2, rs1, f3, op uint32) uint32 {
+	u := uint32(imm)
+	return (u>>5&0x7F)<<25 | (rs2&31)<<20 | (rs1&31)<<15 | f3<<12 | (u&0x1F)<<7 | op
+}
+
+func encBImm(imm int32) uint32 {
+	u := uint32(imm)
+	return (u>>12&1)<<31 | (u>>5&0x3F)<<25 | (u>>1&0xF)<<8 | (u>>11&1)<<7
+}
+
+func encJImm(imm int32) uint32 {
+	u := uint32(imm)
+	return (u>>20&1)<<31 | (u>>1&0x3FF)<<21 | (u>>11&1)<<20 | (u>>12&0xFF)<<12
+}
+
+func encU(imm uint32, rd, op uint32) uint32 { return imm&0xFFFFF<<12 | (rd&31)<<7 | op }
+
+// --- register-register ------------------------------------------------------
+
+// Add emits add rd, rs1, rs2.
+func (p *Program) Add(rd, rs1, rs2 Reg) *Program { return p.emit(encR(0, rs2, rs1, 0, rd, 0x33)) }
+
+// Sub emits sub rd, rs1, rs2.
+func (p *Program) Sub(rd, rs1, rs2 Reg) *Program { return p.emit(encR(0x20, rs2, rs1, 0, rd, 0x33)) }
+
+// Sll emits sll rd, rs1, rs2.
+func (p *Program) Sll(rd, rs1, rs2 Reg) *Program { return p.emit(encR(0, rs2, rs1, 1, rd, 0x33)) }
+
+// Slt emits slt rd, rs1, rs2.
+func (p *Program) Slt(rd, rs1, rs2 Reg) *Program { return p.emit(encR(0, rs2, rs1, 2, rd, 0x33)) }
+
+// Sltu emits sltu rd, rs1, rs2.
+func (p *Program) Sltu(rd, rs1, rs2 Reg) *Program { return p.emit(encR(0, rs2, rs1, 3, rd, 0x33)) }
+
+// Xor emits xor rd, rs1, rs2.
+func (p *Program) Xor(rd, rs1, rs2 Reg) *Program { return p.emit(encR(0, rs2, rs1, 4, rd, 0x33)) }
+
+// Srl emits srl rd, rs1, rs2.
+func (p *Program) Srl(rd, rs1, rs2 Reg) *Program { return p.emit(encR(0, rs2, rs1, 5, rd, 0x33)) }
+
+// Sra emits sra rd, rs1, rs2.
+func (p *Program) Sra(rd, rs1, rs2 Reg) *Program { return p.emit(encR(0x20, rs2, rs1, 5, rd, 0x33)) }
+
+// Or emits or rd, rs1, rs2.
+func (p *Program) Or(rd, rs1, rs2 Reg) *Program { return p.emit(encR(0, rs2, rs1, 6, rd, 0x33)) }
+
+// And emits and rd, rs1, rs2.
+func (p *Program) And(rd, rs1, rs2 Reg) *Program { return p.emit(encR(0, rs2, rs1, 7, rd, 0x33)) }
+
+// Mul emits mul rd, rs1, rs2.
+func (p *Program) Mul(rd, rs1, rs2 Reg) *Program { return p.emit(encR(1, rs2, rs1, 0, rd, 0x33)) }
+
+// Mulh emits mulh rd, rs1, rs2 (high 64 bits, signed×signed).
+func (p *Program) Mulh(rd, rs1, rs2 Reg) *Program { return p.emit(encR(1, rs2, rs1, 1, rd, 0x33)) }
+
+// Mulhsu emits mulhsu rd, rs1, rs2 (high 64 bits, signed×unsigned).
+func (p *Program) Mulhsu(rd, rs1, rs2 Reg) *Program { return p.emit(encR(1, rs2, rs1, 2, rd, 0x33)) }
+
+// Mulhu emits mulhu rd, rs1, rs2 (high 64 bits, unsigned×unsigned).
+func (p *Program) Mulhu(rd, rs1, rs2 Reg) *Program { return p.emit(encR(1, rs2, rs1, 3, rd, 0x33)) }
+
+// Div emits div rd, rs1, rs2.
+func (p *Program) Div(rd, rs1, rs2 Reg) *Program { return p.emit(encR(1, rs2, rs1, 4, rd, 0x33)) }
+
+// Divu emits divu rd, rs1, rs2.
+func (p *Program) Divu(rd, rs1, rs2 Reg) *Program { return p.emit(encR(1, rs2, rs1, 5, rd, 0x33)) }
+
+// Rem emits rem rd, rs1, rs2.
+func (p *Program) Rem(rd, rs1, rs2 Reg) *Program { return p.emit(encR(1, rs2, rs1, 6, rd, 0x33)) }
+
+// Remu emits remu rd, rs1, rs2.
+func (p *Program) Remu(rd, rs1, rs2 Reg) *Program { return p.emit(encR(1, rs2, rs1, 7, rd, 0x33)) }
+
+// Addw emits addw rd, rs1, rs2.
+func (p *Program) Addw(rd, rs1, rs2 Reg) *Program { return p.emit(encR(0, rs2, rs1, 0, rd, 0x3B)) }
+
+// Subw emits subw rd, rs1, rs2.
+func (p *Program) Subw(rd, rs1, rs2 Reg) *Program { return p.emit(encR(0x20, rs2, rs1, 0, rd, 0x3B)) }
+
+// Sllw emits sllw rd, rs1, rs2.
+func (p *Program) Sllw(rd, rs1, rs2 Reg) *Program { return p.emit(encR(0, rs2, rs1, 1, rd, 0x3B)) }
+
+// Srlw emits srlw rd, rs1, rs2.
+func (p *Program) Srlw(rd, rs1, rs2 Reg) *Program { return p.emit(encR(0, rs2, rs1, 5, rd, 0x3B)) }
+
+// Sraw emits sraw rd, rs1, rs2.
+func (p *Program) Sraw(rd, rs1, rs2 Reg) *Program { return p.emit(encR(0x20, rs2, rs1, 5, rd, 0x3B)) }
+
+// Mulw emits mulw rd, rs1, rs2.
+func (p *Program) Mulw(rd, rs1, rs2 Reg) *Program { return p.emit(encR(1, rs2, rs1, 0, rd, 0x3B)) }
+
+// --- immediates -------------------------------------------------------------
+
+func (p *Program) checkImm12(imm int32) int32 {
+	if imm < -2048 || imm > 2047 {
+		p.fail("immediate %d exceeds 12 bits", imm)
+	}
+	return imm
+}
+
+// Addi emits addi rd, rs1, imm.
+func (p *Program) Addi(rd, rs1 Reg, imm int32) *Program {
+	return p.emit(encI(p.checkImm12(imm), rs1, 0, rd, 0x13))
+}
+
+// Slti emits slti rd, rs1, imm.
+func (p *Program) Slti(rd, rs1 Reg, imm int32) *Program {
+	return p.emit(encI(p.checkImm12(imm), rs1, 2, rd, 0x13))
+}
+
+// Sltiu emits sltiu rd, rs1, imm.
+func (p *Program) Sltiu(rd, rs1 Reg, imm int32) *Program {
+	return p.emit(encI(p.checkImm12(imm), rs1, 3, rd, 0x13))
+}
+
+// Xori emits xori rd, rs1, imm.
+func (p *Program) Xori(rd, rs1 Reg, imm int32) *Program {
+	return p.emit(encI(p.checkImm12(imm), rs1, 4, rd, 0x13))
+}
+
+// Ori emits ori rd, rs1, imm.
+func (p *Program) Ori(rd, rs1 Reg, imm int32) *Program {
+	return p.emit(encI(p.checkImm12(imm), rs1, 6, rd, 0x13))
+}
+
+// Andi emits andi rd, rs1, imm.
+func (p *Program) Andi(rd, rs1 Reg, imm int32) *Program {
+	return p.emit(encI(p.checkImm12(imm), rs1, 7, rd, 0x13))
+}
+
+// Slli emits slli rd, rs1, shamt (0–63).
+func (p *Program) Slli(rd, rs1 Reg, shamt uint32) *Program {
+	return p.emit(encI(int32(shamt&63), rs1, 1, rd, 0x13))
+}
+
+// Srli emits srli rd, rs1, shamt.
+func (p *Program) Srli(rd, rs1 Reg, shamt uint32) *Program {
+	return p.emit(encI(int32(shamt&63), rs1, 5, rd, 0x13))
+}
+
+// Srai emits srai rd, rs1, shamt.
+func (p *Program) Srai(rd, rs1 Reg, shamt uint32) *Program {
+	return p.emit(encI(int32(0x400|shamt&63), rs1, 5, rd, 0x13))
+}
+
+// Addiw emits addiw rd, rs1, imm.
+func (p *Program) Addiw(rd, rs1 Reg, imm int32) *Program {
+	return p.emit(encI(p.checkImm12(imm), rs1, 0, rd, 0x1B))
+}
+
+// Slliw emits slliw rd, rs1, shamt (0–31).
+func (p *Program) Slliw(rd, rs1 Reg, shamt uint32) *Program {
+	return p.emit(encI(int32(shamt&31), rs1, 1, rd, 0x1B))
+}
+
+// Srliw emits srliw rd, rs1, shamt.
+func (p *Program) Srliw(rd, rs1 Reg, shamt uint32) *Program {
+	return p.emit(encI(int32(shamt&31), rs1, 5, rd, 0x1B))
+}
+
+// Sraiw emits sraiw rd, rs1, shamt.
+func (p *Program) Sraiw(rd, rs1 Reg, shamt uint32) *Program {
+	return p.emit(encI(int32(0x400|shamt&31), rs1, 5, rd, 0x1B))
+}
+
+// --- loads and stores -------------------------------------------------------
+
+// Lb emits lb rd, off(rs1).
+func (p *Program) Lb(rd, rs1 Reg, off int32) *Program {
+	return p.emit(encI(p.checkImm12(off), rs1, 0, rd, 0x03))
+}
+
+// Lh emits lh rd, off(rs1).
+func (p *Program) Lh(rd, rs1 Reg, off int32) *Program {
+	return p.emit(encI(p.checkImm12(off), rs1, 1, rd, 0x03))
+}
+
+// Lw emits lw rd, off(rs1).
+func (p *Program) Lw(rd, rs1 Reg, off int32) *Program {
+	return p.emit(encI(p.checkImm12(off), rs1, 2, rd, 0x03))
+}
+
+// Ld emits ld rd, off(rs1).
+func (p *Program) Ld(rd, rs1 Reg, off int32) *Program {
+	return p.emit(encI(p.checkImm12(off), rs1, 3, rd, 0x03))
+}
+
+// Lbu emits lbu rd, off(rs1).
+func (p *Program) Lbu(rd, rs1 Reg, off int32) *Program {
+	return p.emit(encI(p.checkImm12(off), rs1, 4, rd, 0x03))
+}
+
+// Lhu emits lhu rd, off(rs1).
+func (p *Program) Lhu(rd, rs1 Reg, off int32) *Program {
+	return p.emit(encI(p.checkImm12(off), rs1, 5, rd, 0x03))
+}
+
+// Lwu emits lwu rd, off(rs1).
+func (p *Program) Lwu(rd, rs1 Reg, off int32) *Program {
+	return p.emit(encI(p.checkImm12(off), rs1, 6, rd, 0x03))
+}
+
+// Sb emits sb rs2, off(rs1).
+func (p *Program) Sb(rs2, rs1 Reg, off int32) *Program {
+	return p.emit(encS(p.checkImm12(off), rs2, rs1, 0, 0x23))
+}
+
+// Sh emits sh rs2, off(rs1).
+func (p *Program) Sh(rs2, rs1 Reg, off int32) *Program {
+	return p.emit(encS(p.checkImm12(off), rs2, rs1, 1, 0x23))
+}
+
+// Sw emits sw rs2, off(rs1).
+func (p *Program) Sw(rs2, rs1 Reg, off int32) *Program {
+	return p.emit(encS(p.checkImm12(off), rs2, rs1, 2, 0x23))
+}
+
+// Sd emits sd rs2, off(rs1).
+func (p *Program) Sd(rs2, rs1 Reg, off int32) *Program {
+	return p.emit(encS(p.checkImm12(off), rs2, rs1, 3, 0x23))
+}
+
+// --- control ----------------------------------------------------------------
+
+func (p *Program) branch(rs1, rs2 Reg, f3 uint32, label string) *Program {
+	p.fixups = append(p.fixups, fixup{pos: len(p.words), label: label, kind: 'b'})
+	return p.emit((rs2&31)<<20 | (rs1&31)<<15 | f3<<12 | 0x63)
+}
+
+// Beq emits beq rs1, rs2, label.
+func (p *Program) Beq(rs1, rs2 Reg, label string) *Program { return p.branch(rs1, rs2, 0, label) }
+
+// Bne emits bne rs1, rs2, label.
+func (p *Program) Bne(rs1, rs2 Reg, label string) *Program { return p.branch(rs1, rs2, 1, label) }
+
+// Blt emits blt rs1, rs2, label.
+func (p *Program) Blt(rs1, rs2 Reg, label string) *Program { return p.branch(rs1, rs2, 4, label) }
+
+// Bge emits bge rs1, rs2, label.
+func (p *Program) Bge(rs1, rs2 Reg, label string) *Program { return p.branch(rs1, rs2, 5, label) }
+
+// Bltu emits bltu rs1, rs2, label.
+func (p *Program) Bltu(rs1, rs2 Reg, label string) *Program { return p.branch(rs1, rs2, 6, label) }
+
+// Bgeu emits bgeu rs1, rs2, label.
+func (p *Program) Bgeu(rs1, rs2 Reg, label string) *Program { return p.branch(rs1, rs2, 7, label) }
+
+// Lui emits lui rd, imm20.
+func (p *Program) Lui(rd Reg, imm20 uint32) *Program { return p.emit(encU(imm20, rd, 0x37)) }
+
+// Auipc emits auipc rd, imm20.
+func (p *Program) Auipc(rd Reg, imm20 uint32) *Program { return p.emit(encU(imm20, rd, 0x17)) }
+
+// Jal emits jal rd, label.
+func (p *Program) Jal(rd Reg, label string) *Program {
+	p.fixups = append(p.fixups, fixup{pos: len(p.words), label: label, kind: 'j'})
+	return p.emit((rd&31)<<7 | 0x6F)
+}
+
+// Jalr emits jalr rd, off(rs1).
+func (p *Program) Jalr(rd, rs1 Reg, off int32) *Program {
+	return p.emit(encI(p.checkImm12(off), rs1, 0, rd, 0x67))
+}
+
+// Ret emits jalr x0, 0(ra).
+func (p *Program) Ret() *Program { return p.Jalr(X0, RA, 0) }
+
+// Ecall emits ecall (the user-level model's clean exit).
+func (p *Program) Ecall() *Program { return p.emit(0x00000073) }
+
+// Ebreak emits ebreak.
+func (p *Program) Ebreak() *Program { return p.emit(0x00100073) }
+
+// Fence emits fence (a no-op in the single-hart model).
+func (p *Program) Fence() *Program { return p.emit(0x0000000F) }
+
+// Nop emits addi x0, x0, 0.
+func (p *Program) Nop() *Program { return p.Addi(X0, X0, 0) }
+
+// --- pseudo-instructions ----------------------------------------------------
+
+// Mv emits mv rd, rs (addi rd, rs, 0).
+func (p *Program) Mv(rd, rs Reg) *Program { return p.Addi(rd, rs, 0) }
+
+// Li materializes an arbitrary 64-bit constant into rd without a scratch
+// register: small values in one addi, 32-bit values as lui+addiw, everything
+// else by an 11-bit-chunk shift/or chain (deterministic length).
+func (p *Program) Li(rd Reg, imm uint64) *Program {
+	s := int64(imm)
+	if s >= -2048 && s <= 2047 {
+		return p.Addi(rd, X0, int32(s))
+	}
+	if s >= -(1<<31) && s < 1<<31 {
+		lo := int32(s << 52 >> 52) // sign-extended low 12 bits
+		hi := uint32(s-int64(lo)) >> 12
+		p.Lui(rd, hi)
+		if lo != 0 {
+			p.Addiw(rd, rd, lo)
+		}
+		return p
+	}
+	// Top 9 bits first (always a legal non-negative addi immediate), then
+	// five 11-bit chunks.
+	p.Addi(rd, X0, int32(imm>>55))
+	for shift := 44; shift >= 0; shift -= 11 {
+		p.Slli(rd, rd, 11)
+		if chunk := int32(imm >> uint(shift) & 0x7FF); chunk != 0 {
+			p.Ori(rd, rd, chunk)
+		}
+	}
+	return p
+}

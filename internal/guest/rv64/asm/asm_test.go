@@ -1,0 +1,114 @@
+package asm
+
+import (
+	"testing"
+
+	"captive/internal/guest/rv64"
+)
+
+// run assembles p and executes it on the reference rv64 Machine.
+func run(t *testing.T, p *Program) *rv64.Machine {
+	t.Helper()
+	img, err := p.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rv64.New(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(img, p.Org()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestLiRoundTrip executes li for constants across every materialization
+// strategy and checks the register value — the assembler is only trusted as
+// far as the generated decoder accepts its encodings.
+func TestLiRoundTrip(t *testing.T) {
+	consts := []uint64{
+		0, 1, 2047, 0xFFFFFFFFFFFFF800, // addi path (incl. negative)
+		4096, 0x12345000, 0x7FFFF800, 0xFFFFFFFF80000000, // lui+addiw path
+		0x123456789ABCDEF0, 0xFFFFFFFFFFFFFFFF, 1 << 63, 0xCAFEBABE12345678, // chunk path
+	}
+	p := New(0x1000)
+	for i, c := range consts {
+		p.Li(Reg(10+i), c)
+	}
+	p.Ecall()
+	m := run(t, p)
+	for i, c := range consts {
+		if got := m.Reg(10 + i); got != c {
+			t.Errorf("li x%d, %#x: got %#x", 10+i, c, got)
+		}
+	}
+}
+
+// TestBranchesAndCalls covers label fixups in both directions plus jal/jalr.
+func TestBranchesAndCalls(t *testing.T) {
+	p := New(0x1000)
+	p.Li(5, 10)
+	p.Li(6, 0)
+	p.Label("loop")
+	p.Add(6, 6, 5)
+	p.Addi(5, 5, -1)
+	p.Bne(5, X0, "loop") // backward branch
+	p.Jal(RA, "double")  // forward call
+	p.Beq(X0, X0, "done")
+	p.Label("double")
+	p.Add(6, 6, 6)
+	p.Ret()
+	p.Label("done")
+	p.Ecall()
+	m := run(t, p)
+	if m.Reg(6) != 110 { // (10+9+...+1)*2
+		t.Errorf("x6 = %d, want 110", m.Reg(6))
+	}
+}
+
+// TestMemoryOps checks the store/load encodings (S-format immediate split).
+func TestMemoryOps(t *testing.T) {
+	p := New(0x1000)
+	p.Li(5, 0x20000)
+	p.Li(6, 0xCAFEBABE12345678)
+	p.Sd(6, 5, -8)
+	p.Ld(7, 5, -8)
+	p.Lw(8, 5, -8)  // sign-extends 0x12345678
+	p.Lbu(9, 5, -1) // 0xCA
+	p.Lh(10, 5, -4) // sign-extends 0xBABE
+	p.Sw(6, 5, 16)
+	p.Lwu(11, 5, 16) // zero-extends
+	p.Ecall()
+	m := run(t, p)
+	if m.Reg(7) != 0xCAFEBABE12345678 || m.Reg(8) != 0x12345678 || m.Reg(9) != 0xCA {
+		t.Errorf("loads: %#x %#x %#x", m.Reg(7), m.Reg(8), m.Reg(9))
+	}
+	if int64(m.Reg(10)) != 0xBABE-0x10000 || m.Reg(11) != 0x12345678 {
+		t.Errorf("lh/lwu: %#x %#x", m.Reg(10), m.Reg(11))
+	}
+}
+
+// TestMulDivGroup pins the M-extension encodings against the spec values.
+func TestMulDivGroup(t *testing.T) {
+	p := New(0x1000)
+	p.Li(5, 0xFFFFFFFFFFFFFFFF) // -1
+	p.Li(6, 7)
+	p.Mulh(10, 5, 6)   // -1 * 7 -> high = -1
+	p.Mulhu(11, 5, 6)  // 2^64-1 * 7 -> high = 6
+	p.Mulhsu(12, 5, 6) // -1 * 7u -> high = -1
+	p.Div(13, 5, 6)    // -1 / 7 = 0
+	p.Rem(14, 5, 6)    // -1 % 7 = -1
+	p.Divu(15, 5, 6)   // huge / 7
+	p.Ecall()
+	m := run(t, p)
+	if int64(m.Reg(10)) != -1 || m.Reg(11) != 6 || int64(m.Reg(12)) != -1 {
+		t.Errorf("mulh group: %d %d %d", int64(m.Reg(10)), m.Reg(11), int64(m.Reg(12)))
+	}
+	if m.Reg(13) != 0 || int64(m.Reg(14)) != -1 || m.Reg(15) != ^uint64(0)/7 {
+		t.Errorf("div group: %d %d %d", m.Reg(13), int64(m.Reg(14)), m.Reg(15))
+	}
+}

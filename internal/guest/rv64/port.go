@@ -1,0 +1,79 @@
+package rv64
+
+// The RV64 guest port: the retargetability demonstration of §3.3/Table 5
+// running through the *same* online DBT pipeline as GA64. Like the paper's
+// non-ARM models it is user-level only: memory is identity-mapped with full
+// permissions, there are no devices or system registers, and any guest
+// exception — which a well-formed user-level program never raises, since
+// ecall/ebreak terminate through the hlt intrinsic — halts the machine with
+// a distinctive exit code instead of vectoring to a handler.
+
+import (
+	"captive/internal/gen"
+	"captive/internal/guest/port"
+	"captive/internal/ssa"
+)
+
+// Exit codes reported when a guest exception halts the user-level machine
+// (0xDEAD in the high bits to stay clearly apart from ecall's 0 and
+// ebreak's 1).
+const (
+	ExitInsnAbort  = 0xDEAD0000 + uint64(port.ExcInsnAbort)
+	ExitDataAbort  = 0xDEAD0000 + uint64(port.ExcDataAbort)
+	ExitUndefined  = 0xDEAD0000 + uint64(port.ExcUndefined)
+	ExitSyscall    = 0xDEAD0000 + uint64(port.ExcSyscall)
+	ExitBreakpoint = 0xDEAD0000 + uint64(port.ExcBreakpoint)
+)
+
+// Port implements port.Port for the user-level RV64 guest.
+type Port struct{}
+
+// Arch implements port.Port.
+func (Port) Arch() string { return "rv64" }
+
+// Module implements port.Port.
+func (Port) Module(level ssa.OptLevel) (*gen.Module, error) { return NewModule(level) }
+
+// Banks implements port.Port. RV64 has no FP bank.
+func (Port) Banks() port.Banks { return port.Banks{GPR: "X", Flags: "NZCV"} }
+
+// IsDevice implements port.Port: the user-level model has no MMIO window.
+func (Port) IsDevice(uint64) bool { return false }
+
+// NewSys implements port.Port.
+func (Port) NewSys() port.Sys { return &sysPort{} }
+
+// sysPort is the trivial user-level system state: always privileged (so the
+// engines never apply user-page checks), never translating.
+type sysPort struct{}
+
+// Reset implements port.Sys.
+func (*sysPort) Reset() {}
+
+// EL implements port.Sys. The single level is reported as 1 so engines run
+// the guest in the host's privileged ring, matching the other flat-memory
+// execution paths.
+func (*sysPort) EL() uint8 { return 1 }
+
+// MMUOn implements port.Sys.
+func (*sysPort) MMUOn() bool { return false }
+
+// Walk implements port.Sys: identity translation with full permissions.
+func (*sysPort) Walk(_ port.PhysRead64, va uint64) port.WalkResult {
+	return port.WalkResult{PA: va, Write: true, User: true, OK: true}
+}
+
+// Take implements port.Sys: a user-level machine has no handlers, so every
+// exception terminates it.
+func (*sysPort) Take(ex port.Exception, _ uint8) port.Entry {
+	return port.Entry{Halt: true, Code: 0xDEAD0000 + uint64(ex.Kind)}
+}
+
+// ERet implements port.Sys (unreachable: the model has no eret).
+func (*sysPort) ERet() (uint64, uint8) { return 0, 0 }
+
+// ReadReg implements port.Sys (unreachable: the model has no sysregs).
+func (*sysPort) ReadReg(uint64, *port.Hooks) (uint64, bool) { return 0, false }
+
+// WriteReg implements port.Sys (unreachable).
+func (*sysPort) WriteReg(uint64, uint64, *port.Hooks) bool { return false }

@@ -20,25 +20,42 @@ import (
 var Source string
 
 var (
-	moduleOnce sync.Once
-	moduleVal  *gen.Module
-	moduleErr  error
+	moduleMu    sync.Mutex
+	moduleCache = map[ssa.OptLevel]*gen.Module{}
 )
 
-// NewModule builds the RV64 module at O4.
-func NewModule() (*gen.Module, error) {
-	moduleOnce.Do(func() {
-		file, err := adl.Parse(Source)
-		if err != nil {
-			moduleErr = err
-			return
-		}
-		reg := ssa.NewRegistry()
-		reg.AddBank(file.Bank("X"), "gpr")
-		reg.AddBank(file.Bank("NZCV"), "flags")
-		moduleVal, moduleErr = gen.Build(file, reg, ssa.O4)
-	})
-	return moduleVal, moduleErr
+// NewModule parses and builds the RV64 module at the given offline
+// optimization level. Modules are cached per level (the difftest sweep runs
+// the same guest across O1–O4).
+func NewModule(level ssa.OptLevel) (*gen.Module, error) {
+	moduleMu.Lock()
+	defer moduleMu.Unlock()
+	if m, ok := moduleCache[level]; ok {
+		return m, nil
+	}
+	file, err := adl.Parse(Source)
+	if err != nil {
+		return nil, err
+	}
+	reg := ssa.NewRegistry()
+	reg.AddBank(file.Bank("X"), "gpr")
+	reg.AddBank(file.Bank("NZCV"), "flags")
+	m, err := gen.Build(file, reg, level)
+	if err != nil {
+		return nil, err
+	}
+	moduleCache[level] = m
+	return m, nil
+}
+
+// MustModule returns the O4 module, panicking on model errors (the model is
+// embedded; failure to build it is a programming error).
+func MustModule() *gen.Module {
+	m, err := NewModule(ssa.O4)
+	if err != nil {
+		panic(fmt.Sprintf("rv64: model build failed: %v", err))
+	}
+	return m
 }
 
 // Machine is a user-level RV64 machine: flat memory, no privileged state.
@@ -47,16 +64,24 @@ type Machine struct {
 	Mem     []byte
 	RegFile []byte
 	Halted  bool
-	Instrs  uint64
+	// ExitCode is the hlt intrinsic's argument: 0 for ecall, 1 for ebreak.
+	ExitCode uint64
+	Instrs   uint64
 
 	interp *ssa.Interp
 	fields map[string]uint64
 	wrote  bool
 }
 
-// New creates a machine with the given flat memory size.
+// New creates a machine with the given flat memory size at O4.
 func New(memBytes int) (*Machine, error) {
-	module, err := NewModule()
+	return NewAt(memBytes, ssa.O4)
+}
+
+// NewAt creates a machine with the given flat memory size and offline
+// optimization level.
+func NewAt(memBytes int, level ssa.OptLevel) (*Machine, error) {
+	module, err := NewModule(level)
 	if err != nil {
 		return nil, err
 	}
@@ -92,6 +117,14 @@ func (m *Machine) PC() uint64 {
 // SetPC sets the program counter.
 func (m *Machine) SetPC(v uint64) {
 	binary.LittleEndian.PutUint64(m.RegFile[m.Module.Layout.PCOffset:], v)
+}
+
+// RegState returns a copy of the architectural register file below the PC
+// slot (X, NZCV), the engine-independent state differential tests compare.
+func (m *Machine) RegState() []byte {
+	out := make([]byte, m.Module.Layout.PCOffset)
+	copy(out, m.RegFile)
+	return out
 }
 
 // LoadProgram copies code into memory and sets the PC.
@@ -132,7 +165,10 @@ func (m *Machine) WritePC(v uint64) { m.wrote = true; m.SetPC(v) }
 // MemRead implements ssa.State.
 func (m *Machine) MemRead(width uint8, addr uint64) (uint64, bool) {
 	if addr+uint64(width) > uint64(len(m.Mem)) {
-		m.Halted = true // user-level model: wild access terminates
+		// User-level model: a wild access terminates, with the same exit
+		// code the DBT engines report through rv64.Port.
+		m.Halted = true
+		m.ExitCode = ExitDataAbort
 		return 0, false
 	}
 	switch width {
@@ -151,6 +187,7 @@ func (m *Machine) MemRead(width uint8, addr uint64) (uint64, bool) {
 func (m *Machine) MemWrite(width uint8, addr uint64, v uint64) bool {
 	if addr+uint64(width) > uint64(len(m.Mem)) {
 		m.Halted = true
+		m.ExitCode = ExitDataAbort
 		return false
 	}
 	switch width {
@@ -173,6 +210,7 @@ func (m *Machine) Intrinsic(id ssa.IntrID, args []uint64) (uint64, bool) {
 	}
 	if id == ssa.IntrHlt {
 		m.Halted = true
+		m.ExitCode = args[0]
 		return 0, false
 	}
 	return 0, true

@@ -155,10 +155,7 @@ func TestShiftsAndSlt(t *testing.T) {
 }
 
 func TestModuleStats(t *testing.T) {
-	module, err := NewModule()
-	if err != nil {
-		t.Fatal(err)
-	}
+	module := MustModule()
 	if len(module.Instrs) < 35 {
 		t.Errorf("expected >= 35 instructions, got %d", len(module.Instrs))
 	}
