@@ -75,6 +75,16 @@ func TestDumpGolden(t *testing.T) {
 	}{
 		{"ga64", "adds_reg", "ga64_adds_reg_O4.golden"},
 		{"rv64", "beq", "rv64_beq_O4.golden"},
+		// The system-level retarget surface: a read/modify/write CSR
+		// behaviour (read_sys ordered before the conditional write_sys,
+		// with the pre-write value flowing to rd across the join — the
+		// shape that exposed the phi-analysis forwarding bug), the
+		// immediate form, and the trap returns lowering to eret.
+		{"rv64", "csrrw", "rv64_csrrw_O4.golden"},
+		{"rv64", "csrrs", "rv64_csrrs_O4.golden"},
+		{"rv64", "csrrwi", "rv64_csrrwi_O4.golden"},
+		{"rv64", "mret", "rv64_mret_O4.golden"},
+		{"rv64", "sret", "rv64_sret_O4.golden"},
 	}
 	for _, c := range cases {
 		m := buildFor(t, c.model, ssa.O4)

@@ -17,6 +17,7 @@ import (
 
 	"captive/internal/core"
 	"captive/internal/guest/rv64"
+	rvasm "captive/internal/guest/rv64/asm"
 	"captive/internal/hvm"
 	"captive/internal/perf"
 )
@@ -51,15 +52,67 @@ func factorialProgram() []byte {
 
 const (
 	org      = 0x1000
-	ramBytes = 1 << 20
+	ramBytes = 8 << 20
 )
 
-// runDBT executes the program on a Captive or QEMU-baseline engine via the
-// RV64 guest port and returns (result, instructions, deci-cycles).
-func runDBT(qemu bool) (uint64, uint64, uint64, error) {
+// pagedBootProgram is the full-system half of the demo: an M-mode boot
+// builds sv39 page tables with ordinary stores (an identity RWX megapage
+// for code, a *read-only* megapage at 2 MiB), installs mtvec, enables
+// paging and drops to S-mode via mret. The supervisor body then takes a
+// store page fault on the read-only page; the M handler records the
+// syndrome (x20=mcause, x21=mtval), skips the store, and the final ecall
+// exits cleanly. x12=0x51 proves the body resumed past the fault.
+func pagedBootProgram() *rvasm.Program {
+	const root, l1 = 0x700000, 0x701000
+	pte := func(pa, bits uint64) uint64 { return pa>>12<<10 | bits }
+	leaf := uint64(rv64.PTEV | rv64.PTEA | rv64.PTED)
+	p := rvasm.New(org)
+	st := func(addr, v uint64) {
+		p.Li(6, v)
+		p.Li(7, addr)
+		p.Sd(6, 7, 0)
+	}
+	st(root, pte(l1, rv64.PTEV))
+	st(l1, pte(0, leaf|rv64.PTER|rv64.PTEW|rv64.PTEX))
+	st(l1+8, pte(0x200000, leaf|rv64.PTER))
+	p.La(6, "handler")
+	p.Csrw(rv64.CSRMtvec, 6)
+	p.Li(6, rv64.SatpModeSv39<<60|root>>12)
+	p.Csrw(rv64.CSRSatp, 6)
+	p.SfenceVma()
+	p.Li(6, rv64.PrivS<<rv64.MstatusMPPShift)
+	p.Csrw(rv64.CSRMstatus, 6)
+	p.La(6, "super")
+	p.Csrw(rv64.CSRMepc, 6)
+	p.Mret()
+	p.Label("super") // S-mode, translation on
+	p.Li(10, 0x200000)
+	p.Ld(11, 10, 0) // reads are allowed
+	p.Sd(11, 10, 0) // store page fault: vectored to the M handler
+	p.Li(12, 0x51)  // resumed here after the handler skips the store
+	p.Ecall()
+	p.Label("handler")
+	p.Csrr(24, rv64.CSRMcause)
+	p.Li(22, rv64.CauseEcallS)
+	p.Beq(24, 22, "exit")
+	p.Mv(20, 24) // record the *fault's* cause, not the exit ecall's
+	p.Csrr(21, rv64.CSRMtval)
+	p.Csrr(23, rv64.CSRMepc)
+	p.Addi(23, 23, 4)
+	p.Csrw(rv64.CSRMepc, 23)
+	p.Mret()
+	p.Label("exit")
+	p.Csrw(rv64.CSRMtvec, rvasm.X0)
+	p.Ecall()
+	return p
+}
+
+// runDBT executes an image on a Captive or QEMU-baseline engine via the
+// RV64 guest port and returns the engine for state inspection.
+func runDBT(qemu bool, img []byte) (*core.Engine, error) {
 	vm, err := hvm.New(hvm.Config{GuestRAMBytes: ramBytes, CodeCacheBytes: 1 << 20, PTPoolBytes: 1 << 20})
 	if err != nil {
-		return 0, 0, 0, err
+		return nil, err
 	}
 	module := rv64.MustModule()
 	var e *core.Engine
@@ -69,18 +122,18 @@ func runDBT(qemu bool) (uint64, uint64, uint64, error) {
 		e, err = core.New(vm, rv64.Port{}, module)
 	}
 	if err != nil {
-		return 0, 0, 0, err
+		return nil, err
 	}
-	if err := e.LoadImage(factorialProgram(), org, org); err != nil {
-		return 0, 0, 0, err
+	if err := e.LoadImage(img, org, org); err != nil {
+		return nil, err
 	}
 	if err := e.Run(1_000_000_000); err != nil {
-		return 0, 0, 0, err
+		return nil, err
 	}
 	if halted, code := e.Halted(); !halted || code != 0 {
-		return 0, 0, 0, fmt.Errorf("engine did not exit cleanly (halted=%v code=%d)", halted, code)
+		return nil, fmt.Errorf("engine did not exit cleanly (halted=%v code=%d)", halted, code)
 	}
-	return e.Reg(11), e.GuestInstrs(), e.Cycles(), nil
+	return e, nil
 }
 
 func main() {
@@ -108,10 +161,11 @@ func main() {
 		name string
 		qemu bool
 	}{{"captive", false}, {"qemu", true}} {
-		result, instrs, cycles, err := runDBT(eng.qemu)
+		e, err := runDBT(eng.qemu, factorialProgram())
 		if err != nil {
 			log.Fatalf("%s: %v", eng.name, err)
 		}
+		result, instrs, cycles := e.Reg(11), e.GuestInstrs(), e.Cycles()
 		fmt.Printf("%-10s 12! = %-12d %8d guest instructions, %10.0f cycles (%.2f µs simulated)\n",
 			eng.name+":", result, instrs,
 			float64(cycles)/perf.DeciCyclesPerCycle, perf.Seconds(cycles)*1e6)
@@ -120,4 +174,41 @@ func main() {
 		}
 	}
 	fmt.Println("\nall three engines agree bit-for-bit (result and instruction count)")
+
+	// Full-system retarget: the paged supervisor boot (M-mode page-table
+	// setup, mret to S-mode, a handled store page fault) through the same
+	// engines — no engine code knows it is running RISC-V.
+	fmt.Println("\npaged supervisor boot (sv39, M->S mret, handled store page fault):")
+	img, err := pagedBootProgram().Assemble()
+	if err != nil {
+		log.Fatal(err)
+	}
+	gm, err := rv64.New(ramBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := gm.LoadProgram(img, org); err != nil {
+		log.Fatal(err)
+	}
+	if err := gm.Run(1_000_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s fault cause=%d tval=%#x resumed=%#x %8d guest instructions\n",
+		"interp:", gm.Reg(20), gm.Reg(21), gm.Reg(12), gm.Instrs)
+	for _, eng := range []struct {
+		name string
+		qemu bool
+	}{{"captive", false}, {"qemu", true}} {
+		e, err := runDBT(eng.qemu, img)
+		if err != nil {
+			log.Fatalf("%s: %v", eng.name, err)
+		}
+		sys := rv64.RawSys(e.Sys())
+		fmt.Printf("%-10s fault cause=%d tval=%#x resumed=%#x %8d guest instructions (satp=%#x, %d host faults)\n",
+			eng.name+":", e.Reg(20), e.Reg(21), e.Reg(12), e.GuestInstrs(), sys.Satp, e.Stats.HostFaults)
+		if e.Reg(21) != gm.Reg(21) || e.GuestInstrs() != gm.Instrs || e.Reg(12) != gm.Reg(12) {
+			log.Fatalf("%s diverges from the interpreter on the paged boot", eng.name)
+		}
+	}
+	fmt.Println("\nsupervisor-mode RISC-V runs through every engine with zero core changes")
 }

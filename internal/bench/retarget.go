@@ -24,13 +24,16 @@ type RVWorkload struct {
 }
 
 // RVWorkloads returns the RV64 kernel set: the factorial/loop kernel of the
-// retarget example scaled up, a memory-walking kernel, and a call-heavy
-// kernel (block chaining and the dispatcher under indirect returns).
+// retarget example scaled up, a memory-walking kernel, a call-heavy kernel
+// (block chaining and the dispatcher under indirect returns), and an
+// MMU-on supervisor kernel — guest paging and trap round-trips in the hot
+// path, the host-MMU fast path against the inline softmmu.
 func RVWorkloads() []RVWorkload {
 	return []RVWorkload{
 		{"rv64.factorial", rvFactorialKernel},
 		{"rv64.memsum", rvMemsumKernel},
 		{"rv64.calls", rvCallKernel},
+		{"rv64.vmsum", rvVMSumKernel},
 	}
 }
 
@@ -93,6 +96,70 @@ func rvCallKernel() *rvasm.Program {
 	p.Label("leaf")
 	p.Xor(10, 20, 11)
 	p.Ret()
+	return p
+}
+
+// rvVMSumKernel is the Table 5 MMU-on figure: an M-mode boot builds sv39
+// tables (identity RWX code megapage, RW data megapage), enables paging and
+// drops to S-mode, where the memsum loop runs under guest translation with
+// a trap round-trip to M every pass — Captive serves the loop from
+// demand-populated host page tables while the baseline pays the inline
+// softmmu on every access, and both pay their translation-flush policy on
+// each privilege switch.
+func rvVMSumKernel() *rvasm.Program {
+	const root, l1 = 0x700000, 0x701000
+	pte := func(pa, bits uint64) uint64 { return pa>>12<<10 | bits }
+	leaf := uint64(rv64.PTEV | rv64.PTEA | rv64.PTED)
+	p := rvasm.New(0x1000)
+	st := func(addr, v uint64) {
+		p.Li(6, v)
+		p.Li(7, addr)
+		p.Sd(6, 7, 0)
+	}
+	st(root, pte(l1, rv64.PTEV))
+	st(l1, pte(0, leaf|rv64.PTER|rv64.PTEW|rv64.PTEX))
+	st(l1+8, pte(0x200000, leaf|rv64.PTER|rv64.PTEW))
+	p.La(6, "mtrap")
+	p.Csrw(rv64.CSRMtvec, 6)
+	p.Li(6, rv64.SatpModeSv39<<60|root>>12)
+	p.Csrw(rv64.CSRSatp, 6)
+	p.SfenceVma()
+	p.Li(6, rv64.PrivS<<rv64.MstatusMPPShift)
+	p.Csrw(rv64.CSRMstatus, 6)
+	p.La(6, "super")
+	p.Csrw(rv64.CSRMepc, 6)
+	p.Mret()
+
+	p.Label("super") // S-mode, translation on
+	p.Li(5, 0x200000)
+	p.Li(20, 200) // passes (each ends in an ecall round-trip to M)
+	p.Li(11, 0)
+	p.Label("pass")
+	p.Li(6, 512)
+	p.Mv(7, 5)
+	p.Label("elem")
+	p.Ld(8, 7, 0)
+	p.Add(8, 8, 6)
+	p.Sd(8, 7, 0)
+	p.Add(11, 11, 8)
+	p.Addi(7, 7, 8)
+	p.Addi(6, 6, -1)
+	p.Bne(6, rvasm.X0, "elem")
+	p.Ecall() // supervisor yield: trap to M, skip, mret back
+	p.Addi(20, 20, -1)
+	p.Bne(20, rvasm.X0, "pass")
+	p.Li(21, 1)
+	p.Ecall() // x21 != 0: the M handler clears mtvec and exits
+
+	p.Label("mtrap")
+	p.Bne(21, rvasm.X0, "mexit")
+	p.Csrr(23, rv64.CSRMepc)
+	p.Addi(23, 23, 4)
+	p.Csrw(rv64.CSRMepc, 23)
+	p.Mret()
+	p.Label("mexit")
+	p.Csrw(rv64.CSRMtvec, rvasm.X0)
+	p.Ecall()
 	return p
 }
 

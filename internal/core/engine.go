@@ -40,8 +40,10 @@ const (
 	costQDispatch = 400
 )
 
-// maxBlockInstrs bounds guest basic-block length.
-const maxBlockInstrs = 64
+// maxBlockInstrs bounds guest basic-block length. It is the shared
+// port.MaxBlockInstrs so golden models can replicate the engines'
+// block-granular instruction accounting.
+const maxBlockInstrs = port.MaxBlockInstrs
 
 // JITStats aggregates compilation statistics (Figs. 19/20, §3.4).
 type JITStats struct {
@@ -249,7 +251,7 @@ func (e *Engine) LoadImage(data []byte, gpa, entry uint64) error {
 func (e *Engine) raise(ex port.Exception) {
 	e.Stats.GuestFaults++
 	e.cpu.Stats.Cycles += costInjectExc
-	entry := e.sys.Take(ex, e.NZCV())
+	entry := e.sys.Take(ex, e.NZCV(), &e.hooks)
 	if entry.Halt {
 		e.halted = true
 		e.exitCode = entry.Code
@@ -298,7 +300,7 @@ func (e *Engine) translatePC(pc uint64) (uint64, bool) {
 		e.raise(port.Exception{Kind: port.ExcInsnAbort, Translation: true, Addr: pc, PC: pc})
 		return 0, false
 	}
-	if e.sys.EL() == 0 && !w.User {
+	if (e.sys.EL() == 0 && !w.User) || !w.Exec {
 		e.raise(port.Exception{Kind: port.ExcInsnAbort, Addr: pc, PC: pc})
 		return 0, false
 	}
@@ -625,7 +627,7 @@ func (e *Engine) registerHelpers() {
 		return vx64.HelperExit
 	}
 	h[hERet] = func(c *vx64.CPU) vx64.HelperAction {
-		newPC, nzcv := e.sys.ERet()
+		newPC, nzcv := e.sys.ERet(&e.hooks)
 		e.SetNZCV(nzcv)
 		e.SetPC(newPC)
 		return vx64.HelperExit

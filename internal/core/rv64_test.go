@@ -101,6 +101,77 @@ func TestRV64LazyMaterializationRegression(t *testing.T) {
 	}
 }
 
+// TestRV64PagedSupervisorBoot pins the full-system path at the engine
+// level: an M-mode boot builds sv39 page tables with ordinary stores,
+// installs mtvec, enables satp and mrets into S-mode; the paged body takes
+// a store page fault on a read-only page, the M handler records the
+// syndrome and skips the store, and the sentinel ecall exits cleanly — on
+// both the Captive and QEMU personalities, without any core changes (the
+// retargetability invariant of the port layer).
+func TestRV64PagedSupervisorBoot(t *testing.T) {
+	const (
+		root = 0x700000
+		l1   = 0x701000
+	)
+	pte := func(pa, bits uint64) uint64 { return pa>>12<<10 | bits }
+	p := rvasm.New(0x1000)
+	st := func(addr, v uint64) {
+		p.Li(6, v)
+		p.Li(7, addr)
+		p.Sd(6, 7, 0)
+	}
+	leaf := uint64(rv64.PTEV | rv64.PTEA | rv64.PTED)
+	st(root, pte(l1, rv64.PTEV))
+	st(l1, pte(0, leaf|rv64.PTER|rv64.PTEW|rv64.PTEX))
+	st(l1+8, pte(0x200000, leaf|rv64.PTER)) // 2..4 MiB read-only
+	p.La(6, "handler")
+	p.Csrw(rv64.CSRMtvec, 6)
+	p.Li(6, rv64.SatpModeSv39<<60|root>>12)
+	p.Csrw(rv64.CSRSatp, 6)
+	p.SfenceVma()
+	p.Li(6, rv64.PrivS<<rv64.MstatusMPPShift)
+	p.Csrw(rv64.CSRMstatus, 6)
+	p.La(6, "super")
+	p.Csrw(rv64.CSRMepc, 6)
+	p.Mret()
+	p.Label("super") // S-mode, paged
+	p.Li(10, 0x200000)
+	p.Ld(11, 10, 0) // read allowed
+	p.Sd(11, 10, 0) // store page fault -> handler skips
+	p.Li(12, 0x51)  // resumed here
+	p.Ecall()       // sentinel-free exit: handler clears mtvec on ecall
+	p.Label("handler")
+	p.Csrr(20, rv64.CSRMcause)
+	p.Li(22, rv64.CauseEcallS)
+	p.Beq(20, 22, "exit")
+	p.Csrr(21, rv64.CSRMtval) // fault path only: keep the fault's tval
+	p.Csrr(23, rv64.CSRMepc)
+	p.Addi(23, 23, 4)
+	p.Csrw(rv64.CSRMepc, 23)
+	p.Mret()
+	p.Label("exit")
+	p.Csrw(rv64.CSRMtvec, rvasm.X0)
+	p.Ecall()
+	for _, qemu := range []bool{false, true} {
+		e := newRV64Engine(t, qemu)
+		runRV64(t, e, p)
+		if e.Reg(12) != 0x51 {
+			t.Errorf("qemu=%v: body did not resume past the fault: x12=%#x", qemu, e.Reg(12))
+		}
+		sys := rv64.RawSys(e.Sys())
+		if sys == nil {
+			t.Fatal("engine Sys is not the RV64 system")
+		}
+		if e.Reg(20) != rv64.CauseEcallS || e.Reg(21) != 0x200000 {
+			t.Errorf("qemu=%v: recorded cause=%d tval=%#x (want final ecall-S after a store fault at 0x200000)",
+				qemu, e.Reg(20), e.Reg(21))
+		}
+		if sys.Satp>>60 != rv64.SatpModeSv39 {
+			t.Errorf("qemu=%v: satp=%#x", qemu, sys.Satp)
+		}
+	}
+}
+
 // TestRV64WildAccessHalts pins the user-level exception semantics: an
 // out-of-range access has no handler to vector to, so the port halts the
 // machine with its data-abort exit code.

@@ -39,3 +39,41 @@ var RV64RegressionSeeds = []struct {
 	{0x5C0FFEE, 140}, {0xDECAF1, 140}, {0xFACADE1, 140}, {0xBEEF1, 140},
 	{778, 200}, {31338, 200}, {65538, 200}, {1<<40 + 1, 200},
 }
+
+// RV64SysRegressionSeeds is the committed corpus of the RV64 full-system
+// lane (CheckRV64Sys). Grow it exactly like the other corpora: whenever a
+// system-lane differential failure is found and fixed, the exposing seed
+// goes here. Seeds cover both flavours (even seeds tend to draw the U-mode
+// body, odd ones the S-mode body with random medeleg/SUM) and every sys
+// construct: sv39 table building through stores, mret privilege drops,
+// ecall round-trips, directed page faults on all six fault pages, illegal
+// CSR accesses from U-mode and delegated supervisor handling.
+var RV64SysRegressionSeeds = []struct {
+	Seed int64
+	Ops  int
+}{
+	{1, 40}, {2, 40}, {3, 40}, {4, 40}, {5, 40},
+	{6, 80}, {7, 80}, {8, 80}, {9, 80}, {10, 80},
+	{11, 120}, {12, 120}, {13, 120}, {14, 120}, {15, 120},
+	{16, 160}, {17, 160}, {18, 160}, {19, 160}, {20, 160},
+	{0x5EED2001, 60}, {0x5EED2002, 60}, {0x5EED2003, 60}, {0x5EED2004, 60},
+	{0x5EED2005, 100}, {0x5EED2006, 100}, {0x5EED2007, 100}, {0x5EED2008, 100},
+	{0x5C0FFEE2, 140}, {0xDECAF2, 140}, {0xFACADE2, 140}, {0xBEEF2, 140},
+	{779, 200}, {31339, 200}, {65539, 200}, {1<<40 + 2, 200},
+}
+
+// MMURegressionSeeds is the committed corpus of the GA64 MMU-on/EL0 lane
+// (CheckMMU): programs that build guest page tables, enable the MMU, drop
+// to EL0 via eret and run the user-lane construct set under translation,
+// bouncing SVCs through the lower-EL vector. Add exposing seeds here when a
+// paged GA64 divergence is found and fixed.
+var MMURegressionSeeds = []struct {
+	Seed int64
+	Ops  int
+}{
+	{1, 40}, {2, 40}, {3, 40}, {4, 40},
+	{5, 80}, {6, 80}, {7, 80}, {8, 80},
+	{9, 120}, {10, 120}, {11, 120}, {12, 120},
+	{0x5EED3001, 100}, {0x5EED3002, 100}, {0x5EED3003, 160}, {0x5EED3004, 160},
+	{780, 200}, {31340, 200},
+}

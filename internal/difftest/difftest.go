@@ -42,15 +42,24 @@ func Configs() []EngineID {
 // State is the engine-independent architectural state extracted after a run.
 // Two engines executed a program identically iff their States are equal.
 type State struct {
-	Regs     []byte // register file below the PC slot: X, VL, VH, NZCV
-	Data     []byte // the probed data windows
-	Instrs   uint64 // retired guest instructions
+	Regs     []byte   // register file below the PC slot: X, VL, VH, NZCV
+	Data     []byte   // the probed data windows
+	CSRs     []uint64 // system-register snapshot (RV64 sys lane; nil otherwise)
+	Instrs   uint64   // retired guest instructions
 	ExitCode uint64
-	RV64     bool // state from the RV64 lane (register naming in Diff)
+	RV64     bool // state from an RV64 lane (register naming in Diff)
 }
 
 // Equal reports whether two states are bit-identical.
 func (s State) Equal(o State) bool {
+	if len(s.CSRs) != len(o.CSRs) {
+		return false
+	}
+	for i := range s.CSRs {
+		if s.CSRs[i] != o.CSRs[i] {
+			return false
+		}
+	}
 	return s.Instrs == o.Instrs && s.ExitCode == o.ExitCode &&
 		bytes.Equal(s.Regs, o.Regs) && bytes.Equal(s.Data, o.Data)
 }
@@ -83,6 +92,11 @@ func (s State) Diff(o State) string {
 		if i < len(o.Data) && s.Data[i] != o.Data[i] {
 			fmt.Fprintf(&sb, "mem[probe+%#x]=%#x vs %#x; ", i, s.Data[i], o.Data[i])
 			break
+		}
+	}
+	for i := range s.CSRs {
+		if i < len(o.CSRs) && s.CSRs[i] != o.CSRs[i] {
+			fmt.Fprintf(&sb, "%s=%#x vs %#x; ", rvsysCSRName(i), s.CSRs[i], o.CSRs[i])
 		}
 	}
 	return strings.TrimSuffix(sb.String(), "; ")
@@ -241,7 +255,13 @@ func (m *Mismatch) Error() string {
 // matrix and compares every configuration against the golden interpreter.
 // On divergence the failing program is automatically minimized.
 func Check(seed int64, ops int) error {
-	p, err := Generate(seed, ops)
+	return checkGA64(seed, ops, Generate)
+}
+
+// checkGA64 is the GA64 matrix check shared by the user-level and MMU-on
+// lanes; generate builds the program for the seed.
+func checkGA64(seed int64, ops int, generate func(int64, int) (*Program, error)) error {
+	p, err := generate(seed, ops)
 	if err != nil {
 		return fmt.Errorf("difftest: seed %d: generate: %w", seed, err)
 	}

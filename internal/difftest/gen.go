@@ -95,6 +95,10 @@ type generator struct {
 	labels int
 	// pending call targets: label -> emitted?
 	fns []string
+	// el0 restricts system-register traffic to the EL0-accessible registers
+	// (the MMU-on lane: an EL0 SCRATCH0 access would trap undefined and
+	// return to itself forever through the eret stub).
+	el0 bool
 }
 
 func (g *generator) label(prefix string) string {
@@ -464,16 +468,24 @@ func (g *generator) simpleOp() {
 		l := g.label("adr")
 		p.Adr(rd, l)
 		p.Label(l)
-	case 30: // system-register traffic (EL1, non-translation registers)
+	case 30: // system-register traffic (non-translation registers)
 		switch rng.Intn(4) {
 		case 0:
 			p.Msr(ga64.SysTPIDR, rn)
 		case 1:
 			p.Mrs(rd, ga64.SysTPIDR)
 		case 2:
-			p.Msr(ga64.SysSCRATCH0, rn)
+			if g.el0 {
+				p.Msr(ga64.SysTPIDR, rn)
+			} else {
+				p.Msr(ga64.SysSCRATCH0, rn)
+			}
 		default:
-			p.Mrs(rd, ga64.SysSCRATCH0)
+			if g.el0 {
+				p.Mrs(rd, ga64.SysTPIDR)
+			} else {
+				p.Mrs(rd, ga64.SysSCRATCH0)
+			}
 		}
 	case 31:
 		p.Nop()

@@ -47,8 +47,10 @@ type PhysRead64 = port.PhysRead64
 // identity with full permissions. The walk itself performs up to four
 // physical reads, which the engines charge to their cost models.
 func Walk(read PhysRead64, s *Sys, va uint64) WalkResult {
+	// GA64 has no separate read/execute permission bits: every mapped page
+	// is readable and executable (fetch permission equals read permission).
 	if !s.MMUOn() {
-		return WalkResult{PA: va, Write: true, User: true, OK: true}
+		return WalkResult{PA: va, Read: true, Write: true, Exec: true, User: true, OK: true}
 	}
 	top := va >> 48
 	var root uint64
@@ -76,12 +78,14 @@ func Walk(read PhysRead64, s *Sys, va uint64) WalkResult {
 		if level == 1 && pte&PTELarge != 0 {
 			base := pte & PTEAddrMask &^ uint64(0x1FFFFF)
 			return WalkResult{
-				PA: base | va&0x1FFFFF, Write: write, User: user, OK: true, Block: true,
+				PA: base | va&0x1FFFFF, Read: true, Write: write, Exec: true,
+				User: user, OK: true, Block: true,
 			}
 		}
 		if level == 0 {
 			return WalkResult{
-				PA: pte&PTEAddrMask | va&(GuestPageSize-1), Write: write, User: user, OK: true,
+				PA: pte&PTEAddrMask | va&(GuestPageSize-1), Read: true, Write: write,
+				Exec: true, User: user, OK: true,
 			}
 		}
 		table = pte & PTEAddrMask

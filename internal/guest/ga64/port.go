@@ -60,8 +60,10 @@ func (p *sysPort) Walk(read port.PhysRead64, va uint64) port.WalkResult {
 
 // Take implements port.Sys: classify the engine-level exception into the
 // GA64 EC/ISS syndrome encoding and perform the architectural entry. GA64 is
-// a full-system model, so no exception halts the machine.
-func (p *sysPort) Take(ex port.Exception, nzcv uint8) port.Entry {
+// a full-system model, so no exception halts the machine. The hooks are
+// unused: GA64's translation regime (TTBR0/TTBR1/SCTLR) does not depend on
+// the exception level, so entries never change it.
+func (p *sysPort) Take(ex port.Exception, nzcv uint8, _ *port.Hooks) port.Entry {
 	var ec uint8
 	var iss uint32
 	var far uint64
@@ -80,8 +82,8 @@ func (p *sysPort) Take(ex port.Exception, nzcv uint8) port.Entry {
 	return port.Entry{PC: p.sys.TakeException(ec, iss, far, nzcv, ex.PC, false)}
 }
 
-// ERet implements port.Sys.
-func (p *sysPort) ERet() (uint64, uint8) { return p.sys.ERet() }
+// ERet implements port.Sys (hooks unused, as in Take).
+func (p *sysPort) ERet(_ *port.Hooks) (uint64, uint8) { return p.sys.ERet() }
 
 // ReadReg implements port.Sys.
 func (p *sysPort) ReadReg(idx uint64, h *port.Hooks) (uint64, bool) {

@@ -20,17 +20,24 @@ import (
 // walker stays engine-agnostic.
 type PhysRead64 func(pa uint64) (uint64, bool)
 
-// WalkResult is the outcome of a guest page-table walk.
+// WalkResult is the outcome of a guest page-table walk. Permissions may be
+// folded against the *current* system state by the walker (e.g. an sv39
+// walker clears Exec on user pages walked from supervisor mode); ports whose
+// regime depends on the privilege level must fire Hooks.TranslationChanged
+// from Take/ERet so engines never reuse a stale fold.
 type WalkResult struct {
 	PA    uint64 // translated physical address
+	Read  bool   // page is readable (data loads)
 	Write bool   // page is writable
+	Exec  bool   // page is executable (instruction fetch)
 	User  bool   // page is accessible from the unprivileged level
 	OK    bool   // translation exists
 	Block bool   // mapped by a large (block) entry
 }
 
-// CheckAccess evaluates access permissions for a successful walk. write is
-// the access kind; el the current exception level. Write protection applies
+// CheckAccess evaluates data-access permissions for a successful walk (fetch
+// permission is Exec, checked by the engines' fetch path). write is the
+// access kind; el the current exception level. Write protection applies
 // at every level (the GA64 simplification documented in DESIGN.md — and what
 // makes guest-kernel writes to write-protected translated code detectable);
 // ports whose walkers grant full permissions (identity-mapped user-level
@@ -42,11 +49,19 @@ func (w WalkResult) CheckAccess(write bool, el uint8) bool {
 	if write && !w.Write {
 		return false
 	}
+	if !write && !w.Read {
+		return false
+	}
 	if el == 0 && !w.User {
 		return false
 	}
 	return true
 }
+
+// MaxBlockInstrs bounds guest basic-block length in every DBT engine.
+// Golden models that replicate the engines' block-granular instruction
+// accounting (rv64.Machine) must scan with the same bound.
+const MaxBlockInstrs = 64
 
 // Hooks are the runtime services guest system operations may need. The
 // engine wires them after creating the port's Sys and passes them to every
@@ -121,11 +136,14 @@ type Sys interface {
 	Walk(read PhysRead64, va uint64) WalkResult
 	// Take performs the architectural exception entry for ex and returns
 	// where execution continues. nzcv is the current flags nibble (saved by
-	// ports that bank it).
-	Take(ex Exception, nzcv uint8) Entry
+	// ports that bank it). Ports whose translation regime depends on the
+	// privilege level (RISC-V: M-mode is bare, S/U translate through satp)
+	// fire h.TranslationChanged when the entry changes the effective regime.
+	Take(ex Exception, nzcv uint8, h *Hooks) Entry
 	// ERet performs the architectural exception return, restoring the
-	// privilege level, and returns the new PC and flags.
-	ERet() (newPC uint64, nzcv uint8)
+	// privilege level, and returns the new PC and flags. The hooks contract
+	// matches Take.
+	ERet(h *Hooks) (newPC uint64, nzcv uint8)
 	// ReadReg reads a system register (the sys_read intrinsic). ok is false
 	// for privilege violations, which engines turn into ExcUndefined.
 	ReadReg(idx uint64, h *Hooks) (v uint64, ok bool)

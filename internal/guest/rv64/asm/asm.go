@@ -22,7 +22,7 @@ const (
 type fixup struct {
 	pos   int // word index of the instruction to patch
 	label string
-	kind  uint8 // 'b' = B-format branch, 'j' = J-format jal
+	kind  uint8 // 'b' = B-format branch, 'j' = J-format jal, 'a' = La lui+addiw pair
 }
 
 // Program is an assembly buffer. Create with New, emit instructions, close
@@ -57,6 +57,16 @@ func (p *Program) emit(w uint32) *Program {
 	return p
 }
 
+// Addr returns the address of an already-defined label.
+func (p *Program) Addr(name string) uint64 {
+	idx, ok := p.labels[name]
+	if !ok {
+		p.fail("unknown label %q", name)
+		return 0
+	}
+	return p.org + uint64(idx)*4
+}
+
 // Label defines a label at the current position.
 func (p *Program) Label(name string) *Program {
 	if _, dup := p.labels[name]; dup {
@@ -87,6 +97,16 @@ func (p *Program) Assemble() ([]byte, error) {
 				return nil, fmt.Errorf("rv64 asm: jal to %q out of range (%d bytes)", f.label, delta)
 			}
 			w |= encJImm(delta)
+		case 'a':
+			addr := int64(p.org) + int64(target)*4
+			if addr < 0 || addr >= 1<<31 {
+				return nil, fmt.Errorf("rv64 asm: la %q: address %#x exceeds 31 bits", f.label, addr)
+			}
+			lo := int32(addr << 52 >> 52) // sign-extended low 12 bits
+			hi := uint32(addr-int64(lo)) >> 12
+			p.words[f.pos] |= hi & 0xFFFFF << 12
+			p.words[f.pos+1] |= uint32(lo) & 0xFFF << 20
+			continue
 		}
 		p.words[f.pos] = w
 	}
@@ -377,11 +397,64 @@ func (p *Program) Jalr(rd, rs1 Reg, off int32) *Program {
 // Ret emits jalr x0, 0(ra).
 func (p *Program) Ret() *Program { return p.Jalr(X0, RA, 0) }
 
-// Ecall emits ecall (the user-level model's clean exit).
+// Ecall emits ecall: an environment call into the current mode's trap
+// vector (a clean exit when no vector is installed).
 func (p *Program) Ecall() *Program { return p.emit(0x00000073) }
 
 // Ebreak emits ebreak.
 func (p *Program) Ebreak() *Program { return p.emit(0x00100073) }
+
+// Mret emits mret (machine trap return).
+func (p *Program) Mret() *Program { return p.emit(0x30200073) }
+
+// Sret emits sret (supervisor trap return).
+func (p *Program) Sret() *Program { return p.emit(0x10200073) }
+
+// SfenceVma emits sfence.vma x0, x0 (global translation fence).
+func (p *Program) SfenceVma() *Program { return p.emit(0x12000073) }
+
+// --- Zicsr ------------------------------------------------------------------
+
+func (p *Program) csrOp(f3 uint32, rd Reg, csr uint32, rs1 Reg) *Program {
+	if csr > 0xFFF {
+		p.fail("csr number %#x exceeds 12 bits", csr)
+	}
+	return p.emit(csr<<20 | (rs1&31)<<15 | f3<<12 | (rd&31)<<7 | 0x73)
+}
+
+// Csrrw emits csrrw rd, csr, rs1 (atomic read/write).
+func (p *Program) Csrrw(rd Reg, csr uint32, rs1 Reg) *Program { return p.csrOp(1, rd, csr, rs1) }
+
+// Csrrs emits csrrs rd, csr, rs1 (read and set bits; rs1=x0 reads only).
+func (p *Program) Csrrs(rd Reg, csr uint32, rs1 Reg) *Program { return p.csrOp(2, rd, csr, rs1) }
+
+// Csrrc emits csrrc rd, csr, rs1 (read and clear bits; rs1=x0 reads only).
+func (p *Program) Csrrc(rd Reg, csr uint32, rs1 Reg) *Program { return p.csrOp(3, rd, csr, rs1) }
+
+// Csrrwi emits csrrwi rd, csr, zimm (5-bit immediate write).
+func (p *Program) Csrrwi(rd Reg, csr uint32, zimm uint32) *Program {
+	return p.csrOp(5, rd, csr, zimm&31)
+}
+
+// Csrrsi emits csrrsi rd, csr, zimm.
+func (p *Program) Csrrsi(rd Reg, csr uint32, zimm uint32) *Program {
+	return p.csrOp(6, rd, csr, zimm&31)
+}
+
+// Csrrci emits csrrci rd, csr, zimm.
+func (p *Program) Csrrci(rd Reg, csr uint32, zimm uint32) *Program {
+	return p.csrOp(7, rd, csr, zimm&31)
+}
+
+// Csrr emits csrr rd, csr (csrrs rd, csr, x0: read without side effects).
+func (p *Program) Csrr(rd Reg, csr uint32) *Program { return p.Csrrs(rd, csr, X0) }
+
+// Csrw emits csrw csr, rs (csrrw x0, csr, rs: write, discarding the old
+// value).
+func (p *Program) Csrw(csr uint32, rs Reg) *Program { return p.Csrrw(X0, csr, rs) }
+
+// Csrwi emits csrwi csr, zimm (csrrwi x0, csr, zimm).
+func (p *Program) Csrwi(csr uint32, zimm uint32) *Program { return p.Csrrwi(X0, csr, zimm) }
 
 // Fence emits fence (a no-op in the single-hart model).
 func (p *Program) Fence() *Program { return p.emit(0x0000000F) }
@@ -393,6 +466,15 @@ func (p *Program) Nop() *Program { return p.Addi(X0, X0, 0) }
 
 // Mv emits mv rd, rs (addi rd, rs, 0).
 func (p *Program) Mv(rd, rs Reg) *Program { return p.Addi(rd, rs, 0) }
+
+// La materializes the address of a label into rd as a fixed lui+addiw pair
+// patched at Assemble time (forward references allowed; the address must fit
+// in 31 bits, which covers every guest image this toolchain builds).
+func (p *Program) La(rd Reg, label string) *Program {
+	p.fixups = append(p.fixups, fixup{pos: len(p.words), label: label, kind: 'a'})
+	p.emit(encU(0, rd, 0x37))               // lui rd, hi (patched)
+	return p.emit(encI(0, rd, 0, rd, 0x1B)) // addiw rd, rd, lo (patched)
+}
 
 // Li materializes an arbitrary 64-bit constant into rd without a scratch
 // register: small values in one addi, 32-bit values as lui+addiw, everything

@@ -1,12 +1,14 @@
 package rv64
 
 // The RV64 guest port: the retargetability demonstration of §3.3/Table 5
-// running through the *same* online DBT pipeline as GA64. Like the paper's
-// non-ARM models it is user-level only: memory is identity-mapped with full
-// permissions, there are no devices or system registers, and any guest
-// exception — which a well-formed user-level program never raises, since
-// ecall/ebreak terminate through the hlt intrinsic — halts the machine with
-// a distinctive exit code instead of vectoring to a handler.
+// running through the *same* online DBT pipeline as GA64 — and, since the
+// supervisor-mode upgrade, a full-system guest: M/S/U privilege modes, the
+// machine/supervisor CSR file, vectored trap entry (with medeleg
+// delegation), mret/sret and an sv39 page-table walker all slot in behind
+// this adapter without any engine changes. A trap with no vector installed
+// still halts the machine with the original user-level exit codes, so
+// flat-memory programs keep their PR 2 contract: ecall exits cleanly,
+// ebreak exits with 1, and wild accesses stop with 0xDEAD000x.
 
 import (
 	"captive/internal/gen"
@@ -14,9 +16,9 @@ import (
 	"captive/internal/ssa"
 )
 
-// Exit codes reported when a guest exception halts the user-level machine
-// (0xDEAD in the high bits to stay clearly apart from ecall's 0 and
-// ebreak's 1).
+// Exit codes reported when a guest exception halts a machine that installed
+// no trap vector (0xDEAD in the high bits to stay clearly apart from ecall's
+// 0 and ebreak's 1).
 const (
 	ExitInsnAbort  = 0xDEAD0000 + uint64(port.ExcInsnAbort)
 	ExitDataAbort  = 0xDEAD0000 + uint64(port.ExcDataAbort)
@@ -25,7 +27,7 @@ const (
 	ExitBreakpoint = 0xDEAD0000 + uint64(port.ExcBreakpoint)
 )
 
-// Port implements port.Port for the user-level RV64 guest.
+// Port implements port.Port for the full-system RV64 guest.
 type Port struct{}
 
 // Arch implements port.Port.
@@ -37,43 +39,66 @@ func (Port) Module(level ssa.OptLevel) (*gen.Module, error) { return NewModule(l
 // Banks implements port.Port. RV64 has no FP bank.
 func (Port) Banks() port.Banks { return port.Banks{GPR: "X", Flags: "NZCV"} }
 
-// IsDevice implements port.Port: the user-level model has no MMIO window.
+// IsDevice implements port.Port: the model has no MMIO window.
 func (Port) IsDevice(uint64) bool { return false }
 
 // NewSys implements port.Port.
-func (Port) NewSys() port.Sys { return &sysPort{} }
+func (Port) NewSys() port.Sys {
+	s := &sysPort{}
+	s.sys.Reset()
+	return s
+}
 
-// sysPort is the trivial user-level system state: always privileged (so the
-// engines never apply user-page checks), never translating.
-type sysPort struct{}
+// sysPort adapts Sys (the M/S/U CSR, trap and sv39 model) to the
+// engine-facing port.Sys interface.
+type sysPort struct {
+	sys Sys
+}
+
+// Raw exposes the underlying system state (tests, examples).
+func (p *sysPort) Raw() *Sys { return &p.sys }
 
 // Reset implements port.Sys.
-func (*sysPort) Reset() {}
+func (p *sysPort) Reset() { p.sys.Reset() }
 
-// EL implements port.Sys. The single level is reported as 1 so engines run
-// the guest in the host's privileged ring, matching the other flat-memory
-// execution paths.
-func (*sysPort) EL() uint8 { return 1 }
+// EL implements port.Sys: RISC-V privilege modes map directly onto exception
+// levels (U=0 runs in the host's user ring; S=1 and M=3 are privileged).
+func (p *sysPort) EL() uint8 { return p.sys.Mode }
 
 // MMUOn implements port.Sys.
-func (*sysPort) MMUOn() bool { return false }
+func (p *sysPort) MMUOn() bool { return p.sys.Translating() }
 
-// Walk implements port.Sys: identity translation with full permissions.
-func (*sysPort) Walk(_ port.PhysRead64, va uint64) port.WalkResult {
-	return port.WalkResult{PA: va, Write: true, User: true, OK: true}
+// Walk implements port.Sys.
+func (p *sysPort) Walk(read port.PhysRead64, va uint64) port.WalkResult {
+	return p.sys.Walk(read, va)
 }
 
-// Take implements port.Sys: a user-level machine has no handlers, so every
-// exception terminates it.
-func (*sysPort) Take(ex port.Exception, _ uint8) port.Entry {
-	return port.Entry{Halt: true, Code: 0xDEAD0000 + uint64(ex.Kind)}
+// Take implements port.Sys. RV64 banks no flags, so the nzcv nibble is
+// ignored; mode transitions with sv39 active fire TranslationChanged
+// through the hooks (the regime depends on the privilege level).
+func (p *sysPort) Take(ex port.Exception, _ uint8, h *port.Hooks) port.Entry {
+	return p.sys.Take(ex, h)
 }
 
-// ERet implements port.Sys (unreachable: the model has no eret).
-func (*sysPort) ERet() (uint64, uint8) { return 0, 0 }
+// ERet implements port.Sys (the mret/sret return; flags are not banked).
+func (p *sysPort) ERet(h *port.Hooks) (uint64, uint8) { return p.sys.ERet(h), 0 }
 
-// ReadReg implements port.Sys (unreachable: the model has no sysregs).
-func (*sysPort) ReadReg(uint64, *port.Hooks) (uint64, bool) { return 0, false }
+// ReadReg implements port.Sys (the Zicsr read path).
+func (p *sysPort) ReadReg(csr uint64, h *port.Hooks) (uint64, bool) {
+	return p.sys.ReadReg(csr, h)
+}
 
-// WriteReg implements port.Sys (unreachable).
-func (*sysPort) WriteReg(uint64, uint64, *port.Hooks) bool { return false }
+// WriteReg implements port.Sys (the Zicsr write path).
+func (p *sysPort) WriteReg(csr, v uint64, h *port.Hooks) bool {
+	return p.sys.WriteReg(csr, v, h)
+}
+
+// RawSys unwraps the concrete *Sys from an engine's port.Sys, for tests and
+// tools that inspect RV64 CSRs directly. It returns nil when s is not an
+// RV64 system.
+func RawSys(s port.Sys) *Sys {
+	if p, ok := s.(*sysPort); ok {
+		return p.Raw()
+	}
+	return nil
+}

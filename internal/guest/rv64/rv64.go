@@ -1,8 +1,13 @@
-// Package rv64 is the RV64I(+M subset) guest model: the retargetability
-// demonstration of §3.3/Table 5. It is generated from the same ADL
-// toolchain as GA64 but, like the paper's non-ARM models, supports
-// user-level execution only: the bundled Machine runs flat-memory programs
-// via the generated decoder and the SSA interpreter, terminating on ecall.
+// Package rv64 is the RV64IM+Zicsr guest model: the retargetability
+// demonstration of §3.3/Table 5, grown into a full-system guest. It is
+// generated from the same ADL toolchain as GA64 and carries M/S/U privilege
+// modes, the machine/supervisor CSR file, vectored traps with medeleg
+// delegation and an sv39 page-table walker (sys.go). The bundled Machine is
+// the golden interpreter the differential tester compares the DBT engines
+// against: it translates every access through the same walker, injects the
+// same exceptions, and replicates the engines' block-granular instruction
+// accounting so even programs that fault mid-block retire bit-identical
+// counts.
 package rv64
 
 import (
@@ -13,6 +18,7 @@ import (
 
 	"captive/internal/adl"
 	"captive/internal/gen"
+	"captive/internal/guest/port"
 	"captive/internal/ssa"
 )
 
@@ -58,40 +64,67 @@ func MustModule() *gen.Module {
 	return m
 }
 
-// Machine is a user-level RV64 machine: flat memory, no privileged state.
+// Machine is the full-system RV64 reference interpreter: physical memory,
+// the register file and the M/S/U system state, executing through the
+// generated decoder and the SSA interpreter.
 type Machine struct {
 	Module  *gen.Module
 	Mem     []byte
 	RegFile []byte
+	Sys     Sys
 	Halted  bool
-	// ExitCode is the hlt intrinsic's argument: 0 for ecall, 1 for ebreak.
+	// ExitCode is set when a trap with no vector installed halts the
+	// machine: 0 for ecall, 1 for ebreak, 0xDEAD000x for aborts.
 	ExitCode uint64
-	Instrs   uint64
+	// Instrs counts retired guest instructions *block-granularly*: the DBT
+	// engines charge a whole translated block at entry, so the golden model
+	// scans blocks with the same formation rules and counts them the same
+	// way. For programs without mid-block faults this equals the
+	// per-instruction count.
+	Instrs uint64
+	// Exceptions counts taken guest traps (including halting ones).
+	Exceptions uint64
 
-	interp *ssa.Interp
-	fields map[string]uint64
-	wrote  bool
+	interp  *ssa.Interp
+	fields  map[string]uint64
+	hooks   port.Hooks
+	wrote   bool
+	curPC   uint64
+	pending struct {
+		redirect bool
+		pc       uint64
+	}
+
+	// The scanned block currently executing (block-granular accounting).
+	block    []gen.Decoded
+	blockIdx int
 }
 
-// New creates a machine with the given flat memory size at O4.
+// New creates a machine with the given flat physical memory size at O4.
 func New(memBytes int) (*Machine, error) {
 	return NewAt(memBytes, ssa.O4)
 }
 
-// NewAt creates a machine with the given flat memory size and offline
+// NewAt creates a machine with the given physical memory size and offline
 // optimization level.
 func NewAt(memBytes int, level ssa.OptLevel) (*Machine, error) {
 	module, err := NewModule(level)
 	if err != nil {
 		return nil, err
 	}
-	return &Machine{
+	m := &Machine{
 		Module:  module,
 		Mem:     make([]byte, memBytes),
 		RegFile: make([]byte, module.Layout.Size),
 		interp:  ssa.NewInterp(),
 		fields:  make(map[string]uint64),
-	}, nil
+	}
+	m.Sys.Reset()
+	// Nothing is cached across accesses (the walker runs fresh every time;
+	// the scanned block never outlives a regime-changing instruction, which
+	// ends its block), so translation changes need no action here.
+	m.hooks = port.Hooks{TranslationChanged: func() {}}
+	return m, nil
 }
 
 // Reg reads register xN.
@@ -127,7 +160,7 @@ func (m *Machine) RegState() []byte {
 	return out
 }
 
-// LoadProgram copies code into memory and sets the PC.
+// LoadProgram copies code into physical memory and sets the PC.
 func (m *Machine) LoadProgram(code []byte, addr uint64) error {
 	if addr+uint64(len(code)) > uint64(len(m.Mem)) {
 		return fmt.Errorf("rv64: program exceeds memory")
@@ -136,6 +169,47 @@ func (m *Machine) LoadProgram(code []byte, addr uint64) error {
 	m.SetPC(addr)
 	return nil
 }
+
+// physRead64 reads guest physical memory for the page-table walker.
+func (m *Machine) physRead64(pa uint64) (uint64, bool) {
+	if pa+8 > uint64(len(m.Mem)) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(m.Mem[pa:]), true
+}
+
+// raise injects a guest exception exactly as the engines do: vector to the
+// handler, or halt when no vector is installed.
+func (m *Machine) raise(ex port.Exception) {
+	m.Exceptions++
+	entry := m.Sys.Take(ex, &m.hooks)
+	if entry.Halt {
+		m.Halted = true
+		m.ExitCode = entry.Code
+		return
+	}
+	m.pending.redirect = true
+	m.pending.pc = entry.PC
+}
+
+// translate resolves a guest virtual data address, raising the appropriate
+// abort on failure. The returned physical address is for the access *base*;
+// accesses spanning a page boundary proceed physically contiguous from it,
+// the engines' fast-path behaviour.
+func (m *Machine) translate(va uint64, write bool) (uint64, bool) {
+	w := m.Sys.Walk(m.physRead64, va)
+	if !w.OK {
+		m.raise(port.Exception{Kind: port.ExcDataAbort, Translation: true, Write: write, Addr: va, PC: m.curPC})
+		return 0, false
+	}
+	if !w.CheckAccess(write, m.Sys.Mode) {
+		m.raise(port.Exception{Kind: port.ExcDataAbort, Write: write, Addr: va, PC: m.curPC})
+		return 0, false
+	}
+	return w.PA, true
+}
+
+// state adapter: Machine implements ssa.State.
 
 // ReadBank implements ssa.State.
 func (m *Machine) ReadBank(b *ssa.Bank, idx uint64) uint64 {
@@ -163,42 +237,46 @@ func (m *Machine) ReadPC() uint64 { return m.PC() }
 func (m *Machine) WritePC(v uint64) { m.wrote = true; m.SetPC(v) }
 
 // MemRead implements ssa.State.
-func (m *Machine) MemRead(width uint8, addr uint64) (uint64, bool) {
-	if addr+uint64(width) > uint64(len(m.Mem)) {
-		// User-level model: a wild access terminates, with the same exit
-		// code the DBT engines report through rv64.Port.
-		m.Halted = true
-		m.ExitCode = ExitDataAbort
+func (m *Machine) MemRead(width uint8, va uint64) (uint64, bool) {
+	pa, ok := m.translate(va, false)
+	if !ok {
+		return 0, false
+	}
+	if pa+uint64(width) > uint64(len(m.Mem)) {
+		m.raise(port.Exception{Kind: port.ExcDataAbort, Translation: true, Addr: va, PC: m.curPC})
 		return 0, false
 	}
 	switch width {
 	case 1:
-		return uint64(m.Mem[addr]), true
+		return uint64(m.Mem[pa]), true
 	case 2:
-		return uint64(binary.LittleEndian.Uint16(m.Mem[addr:])), true
+		return uint64(binary.LittleEndian.Uint16(m.Mem[pa:])), true
 	case 4:
-		return uint64(binary.LittleEndian.Uint32(m.Mem[addr:])), true
+		return uint64(binary.LittleEndian.Uint32(m.Mem[pa:])), true
 	default:
-		return binary.LittleEndian.Uint64(m.Mem[addr:]), true
+		return binary.LittleEndian.Uint64(m.Mem[pa:]), true
 	}
 }
 
 // MemWrite implements ssa.State.
-func (m *Machine) MemWrite(width uint8, addr uint64, v uint64) bool {
-	if addr+uint64(width) > uint64(len(m.Mem)) {
-		m.Halted = true
-		m.ExitCode = ExitDataAbort
+func (m *Machine) MemWrite(width uint8, va uint64, v uint64) bool {
+	pa, ok := m.translate(va, true)
+	if !ok {
+		return false
+	}
+	if pa+uint64(width) > uint64(len(m.Mem)) {
+		m.raise(port.Exception{Kind: port.ExcDataAbort, Translation: true, Write: true, Addr: va, PC: m.curPC})
 		return false
 	}
 	switch width {
 	case 1:
-		m.Mem[addr] = uint8(v)
+		m.Mem[pa] = uint8(v)
 	case 2:
-		binary.LittleEndian.PutUint16(m.Mem[addr:], uint16(v))
+		binary.LittleEndian.PutUint16(m.Mem[pa:], uint16(v))
 	case 4:
-		binary.LittleEndian.PutUint32(m.Mem[addr:], uint32(v))
+		binary.LittleEndian.PutUint32(m.Mem[pa:], uint32(v))
 	default:
-		binary.LittleEndian.PutUint64(m.Mem[addr:], v)
+		binary.LittleEndian.PutUint64(m.Mem[pa:], v)
 	}
 	return true
 }
@@ -208,7 +286,34 @@ func (m *Machine) Intrinsic(id ssa.IntrID, args []uint64) (uint64, bool) {
 	if v, ok := ssa.PureIntrinsic(id, args); ok {
 		return v, true
 	}
-	if id == ssa.IntrHlt {
+	switch id {
+	case ssa.IntrSysRead:
+		v, ok := m.Sys.ReadReg(args[0], &m.hooks)
+		if !ok {
+			m.raise(port.Exception{Kind: port.ExcUndefined, PC: m.curPC})
+			return 0, false
+		}
+		return v, true
+	case ssa.IntrSysWrite:
+		if !m.Sys.WriteReg(args[0], args[1], &m.hooks) {
+			m.raise(port.Exception{Kind: port.ExcUndefined, PC: m.curPC})
+			return 0, false
+		}
+		return 0, true
+	case ssa.IntrSVC:
+		m.raise(port.Exception{Kind: port.ExcSyscall, Imm: uint32(args[0]), PC: m.curPC + 4})
+		return 0, false
+	case ssa.IntrBRK:
+		m.raise(port.Exception{Kind: port.ExcBreakpoint, Imm: uint32(args[0]), PC: m.curPC})
+		return 0, false
+	case ssa.IntrERet:
+		m.pending.redirect = true
+		m.pending.pc = m.Sys.ERet(&m.hooks)
+		return 0, false
+	case ssa.IntrTLBIAll:
+		// The interpreter walks tables on every access: nothing cached.
+		return 0, true
+	case ssa.IntrHlt:
 		m.Halted = true
 		m.ExitCode = args[0]
 		return 0, false
@@ -216,30 +321,106 @@ func (m *Machine) Intrinsic(id ssa.IntrID, args []uint64) (uint64, bool) {
 	return 0, true
 }
 
-// Run executes until ecall/halt or the step limit.
-func (m *Machine) Run(limit uint64) error {
-	for steps := uint64(0); steps < limit && !m.Halted; steps++ {
-		pc := m.PC()
-		if pc+4 > uint64(len(m.Mem)) {
-			return fmt.Errorf("rv64: pc %#x out of memory", pc)
+// scanBlock forms the basic block starting at the current PC with the exact
+// engine rules (translate the fetch, decode until a block-ending behaviour,
+// a page boundary, the block-length bound or an undecodable word) and
+// charges its instruction count — the engines' instrumentation prologue. It
+// returns false when the fetch itself trapped (count unchanged, like the
+// engines' pre-translation abort or hUndef path).
+func (m *Machine) scanBlock() bool {
+	pc := m.PC()
+	w := m.Sys.Walk(m.physRead64, pc)
+	if !w.OK {
+		m.raise(port.Exception{Kind: port.ExcInsnAbort, Translation: true, Addr: pc, PC: pc})
+		return false
+	}
+	if (m.Sys.Mode == PrivU && !w.User) || !w.Exec {
+		m.raise(port.Exception{Kind: port.ExcInsnAbort, Addr: pc, PC: pc})
+		return false
+	}
+	pa := w.PA
+	m.block = m.block[:0]
+	m.blockIdx = 0
+	undef := false
+	for len(m.block) < port.MaxBlockInstrs {
+		ipa := pa + uint64(4*len(m.block))
+		if ipa>>12 != pa>>12 {
+			break // blocks never span guest physical pages
 		}
-		word := binary.LittleEndian.Uint32(m.Mem[pc:])
-		d, ok := m.Module.Decode(uint64(word))
+		if ipa+4 > uint64(len(m.Mem)) {
+			undef = len(m.block) == 0
+			break
+		}
+		d, ok := m.Module.Decode(uint64(binary.LittleEndian.Uint32(m.Mem[ipa:])))
 		if !ok {
-			return fmt.Errorf("rv64: undefined instruction %#08x at %#x", word, pc)
+			undef = len(m.block) == 0
+			break
 		}
-		m.Instrs++
-		m.wrote = false
-		okr, err := m.interp.Run(d.Info.Action, d.FieldsInto(m.fields), m)
+		m.block = append(m.block, d)
+		if d.Info.Action.EndsBlock {
+			break
+		}
+	}
+	if undef || len(m.block) == 0 {
+		m.raise(port.Exception{Kind: port.ExcUndefined, PC: pc})
+		return false
+	}
+	m.Instrs += uint64(len(m.block))
+	return true
+}
+
+// Step executes one guest instruction (entering a new block first when
+// needed). It returns false when the machine has halted.
+func (m *Machine) Step() (bool, error) {
+	if m.Halted {
+		return false, nil
+	}
+	if m.blockIdx >= len(m.block) {
+		if !m.scanBlock() {
+			if m.pending.redirect {
+				m.SetPC(m.pending.pc)
+				m.pending.redirect = false
+			}
+			return !m.Halted, nil
+		}
+	}
+	d := m.block[m.blockIdx]
+	pc := m.PC()
+	m.curPC = pc
+	m.wrote = false
+	m.pending.redirect = false
+	ok, err := m.interp.Run(d.Info.Action, d.FieldsInto(m.fields), m)
+	if err != nil {
+		return false, fmt.Errorf("rv64: at %#x (%s): %w", pc, d.Info.Name, err)
+	}
+	if ok && !m.wrote {
+		m.SetPC(pc + 4)
+	}
+	switch {
+	case m.pending.redirect:
+		m.SetPC(m.pending.pc)
+		m.pending.redirect = false
+		m.block = m.block[:0]
+	case m.wrote:
+		m.block = m.block[:0]
+	default:
+		m.blockIdx++
+	}
+	return !m.Halted, nil
+}
+
+// Run executes until the machine halts or the step limit is reached. The
+// limit counts steps rather than retired instructions so that exception
+// loops still terminate.
+func (m *Machine) Run(limit uint64) error {
+	for steps := uint64(0); steps < limit; steps++ {
+		alive, err := m.Step()
 		if err != nil {
-			return fmt.Errorf("rv64: at %#x (%s): %w", pc, d.Info.Name, err)
+			return err
 		}
-		if okr && !m.wrote {
-			m.SetPC(pc + 4)
+		if !alive {
+			return nil
 		}
 	}
-	if !m.Halted {
-		return fmt.Errorf("rv64: step limit reached at pc %#x", m.PC())
-	}
-	return nil
+	return fmt.Errorf("rv64: step limit reached at pc %#x", m.PC())
 }

@@ -1,0 +1,464 @@
+package rv64
+
+// The RV64 machine/supervisor system model: privilege modes, the CSR file,
+// the trap entry/return machinery and the sv39 page-table walker. All three
+// execution engines share this logic through rv64.Port — the engines only
+// classify exceptions and call the walker; every RISC-V-specific decision
+// (cause codes, delegation, WARL legalization, permission folding) lives
+// here, mirroring the ga64.Sys split.
+//
+// Model simplifications (all deterministic, shared by every engine and
+// asserted identical by the difftest sys lane):
+//
+//   - A trap whose selected vector (mtvec, or stvec after delegation) is 0
+//     halts the machine instead of vectoring — the firmware-less exit
+//     convention that keeps the PR 2 user-level contract (ecall exits with
+//     code 0, ebreak with 1, unhandled aborts with 0xDEAD000x).
+//   - A/D bits are trap-managed (the Svade scheme): a walk never mutates
+//     guest memory; an access to a page with A=0, or a store to a page with
+//     D=0, raises the page fault and software sets the bit. Hardware A/D
+//     updates would make memory images depend on engine-internal walk
+//     timing.
+//   - sret executed in M-mode behaves as mret (the single eret intrinsic
+//     dispatches on the current mode); sret in U-mode performs the S-return
+//     rather than trapping. Counter CSRs (cycle/time) are not exposed: their
+//     values are engine-dependent and would break bit-identical differential
+//     state.
+//   - Misaligned accesses never fault; an access spanning a page boundary is
+//     translated at its base address only and proceeds physically contiguous
+//     (exactly what the host-MMU and softmmu fast paths do).
+
+import "captive/internal/guest/port"
+
+// Privilege modes. The values double as the port's exception levels: the
+// engines run mode 0 in the host's user ring and treat everything else as
+// privileged, matching RISC-V's U/S/M split.
+const (
+	PrivU = 0
+	PrivS = 1
+	PrivM = 3
+)
+
+// CSR numbers (the 12-bit csr field of Zicsr instructions; real encodings).
+const (
+	CSRSstatus  = 0x100
+	CSRStvec    = 0x105
+	CSRSscratch = 0x140
+	CSRSepc     = 0x141
+	CSRScause   = 0x142
+	CSRStval    = 0x143
+	CSRSatp     = 0x180
+
+	CSRMstatus  = 0x300
+	CSRMisa     = 0x301
+	CSRMedeleg  = 0x302
+	CSRMtvec    = 0x305
+	CSRMscratch = 0x340
+	CSRMepc     = 0x341
+	CSRMcause   = 0x342
+	CSRMtval    = 0x343
+
+	CSRMhartid = 0xF14
+)
+
+// mstatus bits (the implemented subset).
+const (
+	MstatusSIE      = 1 << 1
+	MstatusMIE      = 1 << 3
+	MstatusSPIE     = 1 << 5
+	MstatusMPIE     = 1 << 7
+	MstatusSPP      = 1 << 8
+	MstatusMPPShift = 11
+	MstatusMPP      = 3 << MstatusMPPShift
+	MstatusSUM      = 1 << 18
+
+	mstatusWritable = MstatusSIE | MstatusMIE | MstatusSPIE | MstatusMPIE |
+		MstatusSPP | MstatusMPP | MstatusSUM
+	// sstatusMask is the S-mode view of mstatus.
+	sstatusMask = MstatusSIE | MstatusSPIE | MstatusSPP | MstatusSUM
+)
+
+// Exception cause codes (mcause/scause values; interrupts are not modelled).
+const (
+	CauseInsnAccess  = 1
+	CauseIllegal     = 2
+	CauseBreakpoint  = 3
+	CauseLoadAccess  = 5
+	CauseStoreAccess = 7
+	CauseEcallU      = 8
+	CauseEcallS      = 9
+	CauseEcallM      = 11
+	CauseInsnPage    = 12
+	CauseLoadPage    = 13
+	CauseStorePage   = 15
+)
+
+// MedelegMask is the WARL mask of delegatable causes: every synchronous
+// cause the model can raise, minus ecall-from-M (bit 11, hardwired 0 per the
+// privileged spec).
+const MedelegMask = 1<<CauseInsnAccess | 1<<CauseIllegal | 1<<CauseBreakpoint |
+	1<<CauseLoadAccess | 1<<CauseStoreAccess | 1<<CauseEcallU | 1<<CauseEcallS |
+	1<<CauseInsnPage | 1<<CauseLoadPage | 1<<CauseStorePage
+
+// MisaValue is the read-only misa: RV64 (MXL=2) with I, M, S and U.
+const MisaValue = 2<<62 | 1<<8 | 1<<12 | 1<<18 | 1<<20
+
+// sv39 PTE bits and satp fields.
+const (
+	PTEV = 1 << 0
+	PTER = 1 << 1
+	PTEW = 1 << 2
+	PTEX = 1 << 3
+	PTEU = 1 << 4
+	PTEG = 1 << 5
+	PTEA = 1 << 6
+	PTED = 1 << 7
+
+	SatpModeBare = 0
+	SatpModeSv39 = 8
+
+	satpPPNMask = 1<<44 - 1
+	ptePPNMask  = 1<<44 - 1
+)
+
+// Sys is the guest system state outside the register file: the privilege
+// mode and the CSR file. One Sys exists per machine.
+type Sys struct {
+	Mode uint8 // PrivU, PrivS or PrivM
+
+	Mstatus  uint64
+	Medeleg  uint64
+	Mtvec    uint64
+	Mscratch uint64
+	Mepc     uint64
+	Mcause   uint64
+	Mtval    uint64
+
+	Stvec    uint64
+	Sscratch uint64
+	Sepc     uint64
+	Scause   uint64
+	Stval    uint64
+	Satp     uint64
+}
+
+// Reset puts the system into its architectural reset state: M-mode, bare
+// translation, all vectors clear (so unhandled traps halt).
+func (s *Sys) Reset() { *s = Sys{Mode: PrivM} }
+
+// Translating reports whether satp-based translation applies to the current
+// mode (sv39 enabled and not in M-mode; M-mode is always bare — MPRV is not
+// modelled).
+func (s *Sys) Translating() bool {
+	return s.Mode != PrivM && s.Satp>>60 == SatpModeSv39
+}
+
+// Walk translates va under the current mode and satp. With translation
+// inactive it is the identity with full permissions. Permission bits are
+// folded against the current mode where the interpretation is
+// mode-dependent: S-mode accesses to user pages fault unless mstatus.SUM is
+// set, and S-mode never executes user pages; engines are guaranteed fresh
+// folds because every mode transition fires TranslationChanged.
+func (s *Sys) Walk(read port.PhysRead64, va uint64) port.WalkResult {
+	if !s.Translating() {
+		return port.WalkResult{PA: va, Read: true, Write: true, Exec: true, User: true, OK: true}
+	}
+	// sv39: bits 63:39 must equal bit 38.
+	if top := int64(va) >> 38; top != 0 && top != -1 {
+		return port.WalkResult{}
+	}
+	table := (s.Satp & satpPPNMask) << 12
+	for level := 2; level >= 0; level-- {
+		idx := va >> (12 + 9*uint(level)) & 0x1FF
+		pte, ok := read(table + idx*8)
+		if !ok || pte&PTEV == 0 {
+			return port.WalkResult{}
+		}
+		// W-without-R is a reserved encoding in every PTE.
+		if pte&PTEW != 0 && pte&PTER == 0 {
+			return port.WalkResult{}
+		}
+		ppn := pte >> 10 & ptePPNMask
+		if pte&(PTER|PTEX) != 0 {
+			// Leaf. Misaligned superpages are a page fault.
+			if level > 0 && ppn&(1<<(9*uint(level))-1) != 0 {
+				return port.WalkResult{}
+			}
+			// Svade: A=0 faults on any access; D=0 makes the page
+			// effectively read-only (stores fault).
+			if pte&PTEA == 0 {
+				return port.WalkResult{}
+			}
+			r := pte&PTER != 0
+			w := pte&PTEW != 0 && pte&PTED != 0
+			x := pte&PTEX != 0
+			u := pte&PTEU != 0
+			if s.Mode == PrivS && u {
+				if s.Mstatus&MstatusSUM == 0 {
+					return port.WalkResult{} // U page from S without SUM
+				}
+				x = false // S-mode never executes user pages
+			}
+			pageMask := uint64(1)<<(12+9*uint(level)) - 1
+			return port.WalkResult{
+				PA:   ppn<<12&^pageMask | va&pageMask,
+				Read: r, Write: w, Exec: x, User: u, OK: true, Block: level > 0,
+			}
+		}
+		// Pointer entry: A/D/U are reserved and must be clear.
+		if pte&(PTEA|PTED|PTEU) != 0 {
+			return port.WalkResult{}
+		}
+		table = ppn << 12
+	}
+	return port.WalkResult{}
+}
+
+// classify maps an engine-level exception onto (cause, tval, epc). Aborts
+// become page faults when translation was active for the faulting mode and
+// access faults when it was bare; ecall causes encode the originating mode;
+// the syscall preferred-return convention (next instruction) is undone so
+// epc points at the ecall itself.
+func (s *Sys) classify(ex port.Exception) (cause, tval, epc uint64) {
+	paged := s.Translating()
+	switch ex.Kind {
+	case port.ExcInsnAbort:
+		if paged {
+			return CauseInsnPage, ex.Addr, ex.PC
+		}
+		return CauseInsnAccess, ex.Addr, ex.PC
+	case port.ExcDataAbort:
+		switch {
+		case ex.Write && paged:
+			return CauseStorePage, ex.Addr, ex.PC
+		case ex.Write:
+			return CauseStoreAccess, ex.Addr, ex.PC
+		case paged:
+			return CauseLoadPage, ex.Addr, ex.PC
+		default:
+			return CauseLoadAccess, ex.Addr, ex.PC
+		}
+	case port.ExcSyscall:
+		return CauseEcallU + uint64(s.Mode), 0, ex.PC - 4
+	case port.ExcBreakpoint:
+		return CauseBreakpoint, ex.PC, ex.PC
+	default:
+		return CauseIllegal, 0, ex.PC
+	}
+}
+
+// haltCode is the exit code of a trap with no vector installed — the PR 2
+// user-level contract (ecall 0, ebreak 1, 0xDEAD000x for the rest).
+func haltCode(ex port.Exception) uint64 {
+	switch ex.Kind {
+	case port.ExcSyscall:
+		return 0
+	case port.ExcBreakpoint:
+		return 1
+	default:
+		return 0xDEAD0000 + uint64(ex.Kind)
+	}
+}
+
+// regimeShift fires TranslationChanged when a privilege transition changed
+// the effective translation regime: with sv39 active, M↔S/U switches between
+// bare and satp translation and S↔U changes the permission fold (SUM, the
+// user bit), so engines must drop cached translations either way.
+func (s *Sys) regimeShift(from uint8, h *port.Hooks) {
+	if from != s.Mode && s.Satp>>60 == SatpModeSv39 &&
+		h != nil && h.TranslationChanged != nil {
+		h.TranslationChanged()
+	}
+}
+
+// Take performs the architectural trap entry: classify, pick the target mode
+// by medeleg (traps from M are never delegated), save the trap state and
+// vector — or halt when the selected vector is 0.
+func (s *Sys) Take(ex port.Exception, h *port.Hooks) port.Entry {
+	cause, tval, epc := s.classify(ex)
+	from := s.Mode
+	if from != PrivM && s.Medeleg>>cause&1 != 0 {
+		if s.Stvec == 0 {
+			return port.Entry{Halt: true, Code: haltCode(ex)}
+		}
+		s.Sepc, s.Scause, s.Stval = epc, cause, tval
+		// SPIE <- SIE; SIE <- 0; SPP <- prior mode (0 = U, 1 = S).
+		s.Mstatus &^= MstatusSPIE | MstatusSPP
+		if s.Mstatus&MstatusSIE != 0 {
+			s.Mstatus |= MstatusSPIE
+		}
+		if from == PrivS {
+			s.Mstatus |= MstatusSPP
+		}
+		s.Mstatus &^= MstatusSIE
+		s.Mode = PrivS
+		s.regimeShift(from, h)
+		return port.Entry{PC: s.Stvec}
+	}
+	if s.Mtvec == 0 {
+		return port.Entry{Halt: true, Code: haltCode(ex)}
+	}
+	s.Mepc, s.Mcause, s.Mtval = epc, cause, tval
+	// MPIE <- MIE; MIE <- 0; MPP <- prior mode.
+	s.Mstatus &^= MstatusMPIE | MstatusMPP
+	if s.Mstatus&MstatusMIE != 0 {
+		s.Mstatus |= MstatusMPIE
+	}
+	s.Mstatus |= uint64(from) << MstatusMPPShift
+	s.Mstatus &^= MstatusMIE
+	s.Mode = PrivM
+	s.regimeShift(from, h)
+	return port.Entry{PC: s.Mtvec}
+}
+
+// ERet performs the trap return for the single eret intrinsic: an M-return
+// (mret) when in M-mode, an S-return (sret) otherwise.
+func (s *Sys) ERet(h *port.Hooks) uint64 {
+	from := s.Mode
+	var pc uint64
+	if from == PrivM {
+		pc = s.Mepc
+		s.Mode = uint8(s.Mstatus >> MstatusMPPShift & 3)
+		// MIE <- MPIE; MPIE <- 1; MPP <- U.
+		s.Mstatus &^= MstatusMIE
+		if s.Mstatus&MstatusMPIE != 0 {
+			s.Mstatus |= MstatusMIE
+		}
+		s.Mstatus |= MstatusMPIE
+		s.Mstatus &^= MstatusMPP
+	} else {
+		pc = s.Sepc
+		s.Mode = PrivU
+		if s.Mstatus&MstatusSPP != 0 {
+			s.Mode = PrivS
+		}
+		// SIE <- SPIE; SPIE <- 1; SPP <- U.
+		s.Mstatus &^= MstatusSIE
+		if s.Mstatus&MstatusSPIE != 0 {
+			s.Mstatus |= MstatusSIE
+		}
+		s.Mstatus |= MstatusSPIE
+		s.Mstatus &^= MstatusSPP
+	}
+	s.regimeShift(from, h)
+	return pc
+}
+
+// csrPriv returns the minimum privilege encoded in a CSR number (bits 9:8).
+func csrPriv(csr uint64) uint8 { return uint8(csr >> 8 & 3) }
+
+// csrReadOnly reports whether a CSR number is architecturally read-only
+// (bits 11:10 == 0b11).
+func csrReadOnly(csr uint64) bool { return csr>>10&3 == 3 }
+
+// ReadReg reads a CSR. ok is false for privilege violations and unimplemented
+// CSRs, which the engines turn into illegal-instruction exceptions.
+func (s *Sys) ReadReg(csr uint64, _ *port.Hooks) (v uint64, ok bool) {
+	if s.Mode < csrPriv(csr) {
+		return 0, false
+	}
+	switch csr {
+	case CSRMstatus:
+		return s.Mstatus, true
+	case CSRMisa:
+		return MisaValue, true
+	case CSRMedeleg:
+		return s.Medeleg, true
+	case CSRMtvec:
+		return s.Mtvec, true
+	case CSRMscratch:
+		return s.Mscratch, true
+	case CSRMepc:
+		return s.Mepc, true
+	case CSRMcause:
+		return s.Mcause, true
+	case CSRMtval:
+		return s.Mtval, true
+	case CSRMhartid:
+		return 0, true
+	case CSRSstatus:
+		return s.Mstatus & sstatusMask, true
+	case CSRStvec:
+		return s.Stvec, true
+	case CSRSscratch:
+		return s.Sscratch, true
+	case CSRSepc:
+		return s.Sepc, true
+	case CSRScause:
+		return s.Scause, true
+	case CSRStval:
+		return s.Stval, true
+	case CSRSatp:
+		return s.Satp, true
+	}
+	return 0, false
+}
+
+// WriteReg writes a CSR with WARL legalization. ok is false for privilege
+// violations, read-only CSRs and unimplemented numbers. Writes that change
+// the effective translation regime (satp; the SUM bit while sv39 is active)
+// fire TranslationChanged.
+func (s *Sys) WriteReg(csr, v uint64, h *port.Hooks) bool {
+	if s.Mode < csrPriv(csr) || csrReadOnly(csr) {
+		return false
+	}
+	flush := func() {
+		if h != nil && h.TranslationChanged != nil {
+			h.TranslationChanged()
+		}
+	}
+	switch csr {
+	case CSRMstatus:
+		v &= mstatusWritable
+		// MPP is WARL over {U, S, M}: the reserved value 2 legalizes to U.
+		if v>>MstatusMPPShift&3 == 2 {
+			v &^= MstatusMPP
+		}
+		sumChanged := (s.Mstatus^v)&MstatusSUM != 0
+		s.Mstatus = v
+		if sumChanged && s.Satp>>60 == SatpModeSv39 {
+			flush()
+		}
+	case CSRMisa:
+		// WARL: writes are accepted and ignored (the extension set is fixed).
+	case CSRMedeleg:
+		s.Medeleg = v & MedelegMask
+	case CSRMtvec:
+		s.Mtvec = v &^ 3 // direct mode only
+	case CSRMscratch:
+		s.Mscratch = v
+	case CSRMepc:
+		s.Mepc = v &^ 3 // IALIGN=32
+	case CSRMcause:
+		s.Mcause = v
+	case CSRMtval:
+		s.Mtval = v
+	case CSRSstatus:
+		ns := s.Mstatus&^uint64(sstatusMask) | v&sstatusMask
+		sumChanged := (s.Mstatus^ns)&MstatusSUM != 0
+		s.Mstatus = ns
+		if sumChanged && s.Satp>>60 == SatpModeSv39 {
+			flush()
+		}
+	case CSRStvec:
+		s.Stvec = v &^ 3
+	case CSRSscratch:
+		s.Sscratch = v
+	case CSRSepc:
+		s.Sepc = v &^ 3
+	case CSRScause:
+		s.Scause = v
+	case CSRStval:
+		s.Stval = v
+	case CSRSatp:
+		mode := v >> 60
+		if mode != SatpModeBare && mode != SatpModeSv39 {
+			return true // WARL: unsupported MODE leaves satp unchanged
+		}
+		s.Satp = mode<<60 | v&satpPPNMask // ASID hardwired to 0
+		flush()
+	default:
+		return false
+	}
+	return true
+}

@@ -636,6 +636,24 @@ func phiAnalysis(a *Action) bool {
 			changed = true
 		}
 	}
+	// The precomputed in/out maps may point at OpVarRead statements that the
+	// rewrite below deletes (a read feeding a later block's in-value is
+	// itself promoted away). Every such deletion records a forwarding edge,
+	// and every value taken from the dataflow maps is resolved through the
+	// chain — otherwise a use could be rewritten to a statement that no
+	// longer exists, which the interpreter sees as an uninitialized local
+	// and the emitter as a garbage DAG node (the csrrs read-then-
+	// conditionally-write shape exposed exactly this).
+	forward := make(map[*Stmt]*Stmt)
+	resolve := func(v *Stmt) *Stmt {
+		for {
+			n, ok := forward[v]
+			if !ok {
+				return v
+			}
+			v = n
+		}
+	}
 	for _, b := range a.Blocks {
 		in := make(map[*Symbol]*Stmt)
 		if b != a.Entry {
@@ -658,7 +676,9 @@ func phiAnalysis(a *Action) bool {
 					continue
 				}
 				if v, ok := in[s.Sym]; ok && v != nil && v != undef {
+					v = resolve(v)
 					replaceUses(a, s, v)
+					forward[s] = v
 					dead = append(dead, i)
 					changed = true
 				}
@@ -673,6 +693,21 @@ func phiAnalysis(a *Action) bool {
 		}
 		if len(dead) > 0 {
 			b.Stmts = removeIndices(b.Stmts, dead)
+		}
+	}
+	// Final sweep: chase any remaining stale pointers (phi inputs installed
+	// from the dataflow maps before the rewrite, and arguments patched to a
+	// read that was deleted later in block order).
+	for _, b := range a.Blocks {
+		for _, s := range b.Stmts {
+			for i, arg := range s.Args {
+				s.Args[i] = resolve(arg)
+			}
+			if s.Op == OpPhi {
+				for k, v := range s.PhiIn {
+					s.PhiIn[k] = resolve(v)
+				}
+			}
 		}
 	}
 	return changed
