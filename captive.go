@@ -105,7 +105,7 @@ func New(cfg Config) (*Guest, error) {
 	}
 	g := &Guest{cfg: cfg}
 	if cfg.Engine == EngineInterp {
-		g.interp = interp.New(module, cfg.GuestRAMBytes)
+		g.interp = interp.New(ga64.Port{}, module, cfg.GuestRAMBytes)
 		return g, nil
 	}
 	vm, err := hvm.New(hvm.Config{

@@ -1,10 +1,14 @@
-// Command captive boots a GA64 guest image under a chosen execution engine
-// and reports console output and run statistics — the command-line face of
-// the DBT hypervisor.
+// Command captive boots a guest image under a chosen execution engine and
+// guest architecture and reports console output and run statistics — the
+// command-line face of the DBT hypervisor. All three engines (the Captive
+// DBT, the QEMU-style baseline and the unified reference interpreter) run
+// either ported guest: the engines consume the guest exclusively through
+// the port layer, so the matrix below is the paper's retargetability claim
+// as a CLI.
 //
-//	captive -image kernel.bin                 # run a raw image at 0x1000
-//	captive -image kernel.bin -engine qemu    # under the baseline engine
-//	captive -demo                             # run the bundled demo guest
+//	captive -image kernel.bin                       # Captive DBT, GA64
+//	captive -image os.bin -guest rv64 -engine qemu  # baseline, RISC-V
+//	captive -demo -engine interp                    # golden model demo
 package main
 
 import (
@@ -12,8 +16,16 @@ import (
 	"fmt"
 	"os"
 
-	"captive"
 	"captive/ga64asm"
+	"captive/internal/core"
+	"captive/internal/guest/ga64"
+	"captive/internal/guest/port"
+	"captive/internal/guest/rv64"
+	rvasm "captive/internal/guest/rv64/asm"
+	"captive/internal/hvm"
+	"captive/internal/interp"
+	"captive/internal/perf"
+	"captive/internal/ssa"
 )
 
 func main() {
@@ -21,28 +33,38 @@ func main() {
 	load := flag.Uint64("load", 0x1000, "guest physical load address")
 	entry := flag.Uint64("entry", 0x1000, "guest entry point")
 	engine := flag.String("engine", "captive", "execution engine: captive, qemu, interp")
+	guest := flag.String("guest", "ga64", "guest architecture: ga64, rv64")
 	ram := flag.Int("ram", 64, "guest RAM in MiB")
+	opt := flag.Int("opt", 4, "offline optimization level (1..4)")
 	demo := flag.Bool("demo", false, "run the bundled demo guest")
 	flag.Parse()
 
-	cfg := captive.Config{GuestRAMBytes: *ram << 20}
+	var gp port.Port
+	switch *guest {
+	case "ga64":
+		gp = ga64.Port{}
+	case "rv64":
+		gp = rv64.Port{}
+	default:
+		fmt.Fprintf(os.Stderr, "captive: unknown guest %q\n", *guest)
+		os.Exit(1)
+	}
 	switch *engine {
-	case "captive":
-		cfg.Engine = captive.EngineCaptive
-	case "qemu":
-		cfg.Engine = captive.EngineQEMU
-	case "interp":
-		cfg.Engine = captive.EngineInterp
+	case "captive", "qemu", "interp":
 	default:
 		fmt.Fprintf(os.Stderr, "captive: unknown engine %q\n", *engine)
 		os.Exit(1)
+	}
+	level := ssa.O4
+	if *opt >= 1 && *opt <= 4 {
+		level = ssa.OptLevel(*opt)
 	}
 
 	var image []byte
 	var err error
 	switch {
 	case *demo:
-		image, err = demoImage()
+		image, err = demoImage(*guest)
 	case *imagePath != "":
 		image, err = os.ReadFile(*imagePath)
 	default:
@@ -54,37 +76,96 @@ func main() {
 		os.Exit(1)
 	}
 
-	g, err := captive.New(cfg)
-	if err != nil {
+	if err := run(gp, level, *engine, image, *load, *entry, *ram<<20); err != nil {
 		fmt.Fprintln(os.Stderr, "captive:", err)
 		os.Exit(1)
-	}
-	if err := g.LoadImage(image, *load, *entry); err != nil {
-		fmt.Fprintln(os.Stderr, "captive:", err)
-		os.Exit(1)
-	}
-	status, err := g.Run(0)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "captive:", err)
-		os.Exit(1)
-	}
-	if out := g.Console(); out != "" {
-		fmt.Print(out)
-	}
-	st := g.Stats()
-	fmt.Printf("\n--- halted=%v exit=%d ---\n", status.Halted, status.ExitCode)
-	fmt.Printf("guest instructions: %d\n", st.GuestInstructions)
-	if st.SimSeconds > 0 {
-		fmt.Printf("simulated time:     %.6f s (%.1f guest MIPS @ 3.5 GHz host)\n",
-			st.SimSeconds, st.MIPS)
-		fmt.Printf("blocks translated:  %d (%d bytes of host code)\n",
-			st.BlocksTranslated, st.CodeBytes)
 	}
 }
 
-// demoImage assembles a small bare-metal guest that prints a banner and
-// computes a few values.
-func demoImage() ([]byte, error) {
+// run executes the image on the selected engine and prints the report.
+func run(gp port.Port, level ssa.OptLevel, engine string, image []byte, load, entry uint64, ramBytes int) error {
+	module, err := gp.Module(level)
+	if err != nil {
+		return err
+	}
+
+	if engine == "interp" {
+		m := interp.New(gp, module, ramBytes)
+		if err := m.LoadImage(image, load, entry); err != nil {
+			return err
+		}
+		if _, err := m.Run(4_000_000_000); err != nil {
+			return err
+		}
+		if out := m.Console(); out != "" {
+			fmt.Print(out)
+		}
+		fmt.Printf("\n--- %s/interp halted=%v exit=%d ---\n", module.Arch, m.Halted, m.ExitCode)
+		fmt.Printf("guest instructions: %d\n", m.Instrs)
+		fmt.Printf("guest exceptions:   %d\n", m.Exceptions)
+		return nil
+	}
+
+	vm, err := hvm.New(hvm.Config{
+		GuestRAMBytes:  ramBytes,
+		CodeCacheBytes: 16 << 20,
+		PTPoolBytes:    4 << 20,
+	})
+	if err != nil {
+		return err
+	}
+	var e *core.Engine
+	switch engine {
+	case "captive":
+		e, err = core.New(vm, gp, module)
+	case "qemu":
+		e, err = core.NewQEMU(vm, gp, module)
+	default:
+		return fmt.Errorf("unknown engine %q", engine)
+	}
+	if err != nil {
+		return err
+	}
+	if err := e.LoadImage(image, load, entry); err != nil {
+		return err
+	}
+	budget := uint64(3_500_000_000_0) * 100 // deci-cycles for ~100 simulated s
+	if err := e.Run(budget); err != nil && err != core.ErrBudget {
+		return err
+	}
+	if out := e.Console(); out != "" {
+		fmt.Print(out)
+	}
+	halted, code := e.Halted()
+	fmt.Printf("\n--- %s/%s halted=%v exit=%d ---\n", module.Arch, engine, halted, code)
+	fmt.Printf("guest instructions: %d\n", e.GuestInstrs())
+	secs := perf.Seconds(e.Cycles())
+	if secs > 0 {
+		fmt.Printf("simulated time:     %.6f s (%.1f guest MIPS @ 3.5 GHz host)\n",
+			secs, float64(e.GuestInstrs())/secs/1e6)
+		fmt.Printf("blocks translated:  %d (%d bytes of host code)\n",
+			e.JIT.Blocks, e.JIT.CodeBytes)
+	}
+	return nil
+}
+
+// demoImage assembles a small bare-metal guest for the chosen architecture.
+func demoImage(guest string) ([]byte, error) {
+	if guest == "rv64" {
+		// fib(20) into x11, then a clean ecall exit.
+		p := rvasm.New(0x1000)
+		p.Li(10, 0)
+		p.Li(11, 1)
+		p.Li(12, 20)
+		p.Label("fib")
+		p.Add(13, 10, 11)
+		p.Mv(10, 11)
+		p.Mv(11, 13)
+		p.Addi(12, 12, -1)
+		p.Bne(12, rvasm.X0, "fib")
+		p.Ecall()
+		return p.Assemble()
+	}
 	p := ga64asm.New(0x1000)
 	p.MovI(10, ga64asm.UARTBase)
 	for _, ch := range "captive-go: hello from the guest\n" {

@@ -19,7 +19,9 @@ import (
 	"captive/internal/guest/rv64"
 	rvasm "captive/internal/guest/rv64/asm"
 	"captive/internal/hvm"
+	"captive/internal/interp"
 	"captive/internal/perf"
+	"captive/internal/ssa"
 )
 
 // Hand-encoded RV64: iterative factorial of x10 into x11, then ecall.
@@ -142,15 +144,16 @@ func main() {
 	fmt.Printf("RV64 model built from the ADL: %d instructions, decoder with %d nodes (depth %d)\n\n",
 		len(module.Instrs), st.Nodes, st.MaxDepth)
 
-	// Reference interpreter (the golden model).
-	m, err := rv64.New(ramBytes)
+	// The unified reference interpreter (the golden model) — the same
+	// engine that golden-runs GA64, consuming RISC-V through rv64.Port.
+	m, err := interp.NewAt(rv64.Port{}, ssa.O4, ramBytes)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := m.LoadProgram(factorialProgram(), org); err != nil {
+	if err := m.LoadImage(factorialProgram(), org, org); err != nil {
 		log.Fatal(err)
 	}
-	if err := m.Run(1_000_000); err != nil {
+	if _, err := m.Run(1_000_000); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-10s 12! = %-12d %8d guest instructions\n", "interp:", m.Reg(11), m.Instrs)
@@ -183,14 +186,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	gm, err := rv64.New(ramBytes)
+	gm, err := interp.NewAt(rv64.Port{}, ssa.O4, ramBytes)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := gm.LoadProgram(img, org); err != nil {
+	if err := gm.LoadImage(img, org, org); err != nil {
 		log.Fatal(err)
 	}
-	if err := gm.Run(1_000_000); err != nil {
+	if _, err := gm.Run(1_000_000); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-10s fault cause=%d tval=%#x resumed=%#x %8d guest instructions\n",

@@ -107,7 +107,7 @@ func RunImage(kind EngineKind, img Image, name string, opt Options) (Result, err
 	res := Result{Workload: name, Engine: kind}
 	start := time.Now()
 	if kind == EngineInterp {
-		m := interp.New(module(), opt.ram())
+		m := interp.New(ga64.Port{}, module(), opt.ram())
 		if err := m.LoadImage(img.Kernel, KernelBase, img.Entry); err != nil {
 			return res, err
 		}

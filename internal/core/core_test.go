@@ -374,7 +374,7 @@ func TestEngineDifferentialRandom(t *testing.T) {
 		}
 
 		// Interpreter run.
-		im := interp.New(module, 8<<20)
+		im := interp.New(ga64.Port{}, module, 8<<20)
 		if err := im.LoadImage(img, 0x1000, 0x1000); err != nil {
 			t.Fatal(err)
 		}

@@ -40,11 +40,6 @@ const (
 	costQDispatch = 400
 )
 
-// maxBlockInstrs bounds guest basic-block length. It is the shared
-// port.MaxBlockInstrs so golden models can replicate the engines'
-// block-granular instruction accounting.
-const maxBlockInstrs = port.MaxBlockInstrs
-
 // JITStats aggregates compilation statistics (Figs. 19/20, §3.4).
 type JITStats struct {
 	Blocks       int
@@ -102,6 +97,11 @@ type Engine struct {
 
 	mmu   *hostMMU
 	cache *codeCache
+
+	// scanBuf is the reusable decode buffer of the shared block scanner
+	// (port.ScanBlock) — block formation itself lives in the port layer so
+	// every engine and the golden interpreter cut blocks identically.
+	scanBuf []gen.Decoded
 
 	curMode uint64 // 0 = low half, 1 = high half
 

@@ -6,38 +6,29 @@ import (
 	"time"
 
 	"captive/internal/gen"
+	"captive/internal/guest/port"
 	"captive/internal/hvm"
 	"captive/internal/vx64"
 )
+
+// fetchRead reads one instruction word of guest RAM for the shared block
+// scanner; reads beyond guest RAM fail (the hUndef path).
+func (e *Engine) fetchRead(pa uint64) (uint32, bool) {
+	if pa+port.InstrBytes > e.vm.Layout.GuestRAMSize {
+		return 0, false
+	}
+	return e.vm.Phys.R32(pa), true
+}
 
 // translateBlock runs the four-phase online pipeline of Fig. 8 for one
 // guest basic block: Decode → Translate (generator functions over the
 // invocation DAG) → Register Allocation → Encode, then installs the code in
 // the cache and write-protects the source page for SMC detection.
 func (e *Engine) translateBlock(pc, gpa uint64, el uint8) (*Block, error) {
-	// --- decode (§2.3.1) ---
+	// --- decode (§2.3.1): the shared block-formation rules ---
 	t0 := time.Now()
-	var decs []gen.Decoded
-	undef := false
-	for len(decs) < maxBlockInstrs {
-		ipa := gpa + uint64(4*len(decs))
-		if ipa>>12 != gpa>>12 {
-			break // blocks never span guest physical pages
-		}
-		if ipa+4 > e.vm.Layout.GuestRAMSize {
-			undef = len(decs) == 0
-			break
-		}
-		d, ok := e.module.Decode(uint64(e.vm.Phys.R32(ipa)))
-		if !ok {
-			undef = len(decs) == 0
-			break
-		}
-		decs = append(decs, d)
-		if d.Info.Action.EndsBlock {
-			break
-		}
-	}
+	decs, undef := port.ScanBlock(e.module, e.fetchRead, gpa, e.scanBuf[:0])
+	e.scanBuf = decs
 	e.JIT.DecodeTime += time.Since(t0)
 
 	// --- translate (§2.3.2) ---

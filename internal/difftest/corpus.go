@@ -62,6 +62,40 @@ var RV64SysRegressionSeeds = []struct {
 	{779, 200}, {31339, 200}, {65539, 200}, {1<<40 + 2, 200},
 }
 
+// SMCRegressionSeeds is the committed corpus of the self-modifying-code
+// lane (CheckSMC): programs that store fresh instruction words over
+// already-executed code and re-execute it, asserting bit-identical state
+// *and* that the SMC invalidation machinery (host-MMU write protection on
+// Captive, dirty tracking on the QEMU baseline) fired. Add exposing seeds
+// here when an SMC divergence is found and fixed.
+var SMCRegressionSeeds = []struct {
+	Seed int64
+	Ops  int
+}{
+	{1, 40}, {2, 40}, {3, 40}, {4, 40},
+	{5, 80}, {6, 80}, {7, 80}, {8, 80},
+	{9, 120}, {10, 120}, {11, 120}, {12, 120},
+	{0x5EED4001, 100}, {0x5EED4002, 100}, {0x5EED4003, 160}, {0x5EED4004, 160},
+	{781, 200}, {31341, 200},
+}
+
+// MMUFaultRegressionSeeds is the committed corpus of the GA64 EL0
+// paging-fault lane (CheckMMUFault): EL0 programs under translation whose
+// construct stream takes permission and translation aborts *mid-block* —
+// the scenario that demands the unified interpreter's block-granular,
+// fault-aware instruction accounting. Add exposing seeds here when a fault
+// divergence is found and fixed.
+var MMUFaultRegressionSeeds = []struct {
+	Seed int64
+	Ops  int
+}{
+	{1, 40}, {2, 40}, {3, 40}, {4, 40},
+	{5, 80}, {6, 80}, {7, 80}, {8, 80},
+	{9, 120}, {10, 120}, {11, 120}, {12, 120},
+	{0x5EED5001, 100}, {0x5EED5002, 100}, {0x5EED5003, 160}, {0x5EED5004, 160},
+	{782, 200}, {31342, 200},
+}
+
 // MMURegressionSeeds is the committed corpus of the GA64 MMU-on/EL0 lane
 // (CheckMMU): programs that build guest page tables, enable the MMU, drop
 // to EL0 via eret and run the user-lane construct set under translation,

@@ -160,32 +160,41 @@ const (
 
 // Run executes a generated program on one engine configuration.
 func Run(p *Program, id EngineID) (State, error) {
+	st, _, err := RunStats(p, id)
+	return st, err
+}
+
+// RunStats executes a generated program like Run and additionally returns
+// the DBT engine's runtime statistics (zero-valued for the interpreter
+// lanes, which have no host faults or SMC protection). The SMC lane asserts
+// on Stats.SMCInvals through this.
+func RunStats(p *Program, id EngineID) (State, core.Stats, error) {
 	module, err := ga64.NewModule(id.Level)
 	if err != nil {
-		return State{}, err
+		return State{}, core.Stats{}, err
 	}
 	switch id.Name {
 	case "interp":
-		m := interp.New(module, RAMBytes)
+		m := interp.New(ga64.Port{}, module, RAMBytes)
 		copy(m.Mem[HandlerBase:], p.Handler)
 		if err := m.LoadImage(p.Image, Org, Org); err != nil {
-			return State{}, err
+			return State{}, core.Stats{}, err
 		}
 		if _, err := m.Run(stepLimit); err != nil {
-			return State{}, err
+			return State{}, core.Stats{}, err
 		}
 		if !m.Halted {
-			return State{}, fmt.Errorf("interp: did not halt")
+			return State{}, core.Stats{}, fmt.Errorf("interp: did not halt")
 		}
 		st := State{Regs: m.RegState(), Instrs: m.Instrs, ExitCode: m.ExitCode}
 		st.Data = append(st.Data, m.Mem[ProbeStart:ProbeEnd]...)
 		st.Data = append(st.Data, m.Mem[StackProbe:StackEnd]...)
-		return st, nil
+		return st, core.Stats{}, nil
 
 	case "captive", "qemu":
 		vm, err := hvm.New(hvm.Config{GuestRAMBytes: RAMBytes, CodeCacheBytes: 4 << 20, PTPoolBytes: 2 << 20})
 		if err != nil {
-			return State{}, err
+			return State{}, core.Stats{}, err
 		}
 		var e *core.Engine
 		if id.Name == "qemu" {
@@ -194,33 +203,33 @@ func Run(p *Program, id EngineID) (State, error) {
 			e, err = core.New(vm, ga64.Port{}, module)
 		}
 		if err != nil {
-			return State{}, err
+			return State{}, core.Stats{}, err
 		}
 		if err := e.LoadUser(p.Handler, HandlerBase); err != nil {
-			return State{}, err
+			return State{}, core.Stats{}, err
 		}
 		if err := e.LoadImage(p.Image, Org, Org); err != nil {
-			return State{}, err
+			return State{}, core.Stats{}, err
 		}
 		if err := e.Run(cycleBudget); err != nil {
-			return State{}, fmt.Errorf("%s: %w", id, err)
+			return State{}, core.Stats{}, fmt.Errorf("%s: %w", id, err)
 		}
 		halted, code := e.Halted()
 		if !halted {
-			return State{}, fmt.Errorf("%s: did not halt", id)
+			return State{}, core.Stats{}, fmt.Errorf("%s: did not halt", id)
 		}
 		st := State{Regs: e.RegState(), Instrs: e.GuestInstrs(), ExitCode: code}
 		buf := make([]byte, (ProbeEnd-ProbeStart)+(StackEnd-StackProbe))
 		if err := e.ReadRAM(ProbeStart, buf[:ProbeEnd-ProbeStart]); err != nil {
-			return State{}, err
+			return State{}, core.Stats{}, err
 		}
 		if err := e.ReadRAM(StackProbe, buf[ProbeEnd-ProbeStart:]); err != nil {
-			return State{}, err
+			return State{}, core.Stats{}, err
 		}
 		st.Data = buf
-		return st, nil
+		return st, e.Stats, nil
 	}
-	return State{}, fmt.Errorf("difftest: unknown engine %q", id.Name)
+	return State{}, core.Stats{}, fmt.Errorf("difftest: unknown engine %q", id.Name)
 }
 
 // Mismatch describes a differential failure, including the minimized

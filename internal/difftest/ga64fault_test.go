@@ -1,0 +1,73 @@
+package difftest
+
+import (
+	"testing"
+
+	"captive/internal/ssa"
+)
+
+// TestMMUFaultCorpus replays the committed EL0 paging-fault regression
+// corpus. This always runs, including under -short.
+func TestMMUFaultCorpus(t *testing.T) {
+	for _, c := range MMUFaultRegressionSeeds {
+		c := c
+		if err := CheckMMUFault(c.Seed, c.Ops); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestMMUFaultSweep is the EL0 paging-fault differential sweep: EL0
+// programs under guest translation taking mid-block permission and
+// translation aborts through every engine, bit-identical down to the
+// block-granular instruction counts. The -short floor stays at 50 seeds —
+// this is the lane that proves the unified interpreter's fault-aware
+// accounting, so it never shrinks below that.
+func TestMMUFaultSweep(t *testing.T) {
+	seeds, base := 150, int64(7000)
+	if testing.Short() {
+		seeds = 50
+	}
+	for i := 0; i < seeds; i++ {
+		seed := base + int64(i)
+		ops := 40 + i%5*40
+		if err := CheckMMUFault(seed, ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMMUFaultGenerateDeterministic pins generator determinism.
+func TestMMUFaultGenerateDeterministic(t *testing.T) {
+	a, err := GenerateMMUFault(7, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateMMUFault(7, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Image) != string(b.Image) || string(a.Handler) != string(b.Handler) {
+		t.Fatal("GenerateMMUFault is not deterministic")
+	}
+}
+
+// TestMMUFaultActuallyFaults guards the lane against silently degenerating:
+// a corpus-sized program must take guest exceptions beyond its SVC
+// round-trips (i.e. real aborts), or the fault pages have stopped faulting.
+func TestMMUFaultActuallyFaults(t *testing.T) {
+	p, err := GenerateMMUFault(1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, stats, err := RunStats(p, EngineID{Name: "captive", Level: ssa.O4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExitCode != 0 {
+		t.Fatalf("exit code %d", st.ExitCode)
+	}
+	if stats.GuestFaults == 0 {
+		t.Fatal("no guest faults were injected — the fault pages are not faulting")
+	}
+}

@@ -99,6 +99,10 @@ type generator struct {
 	// (the MMU-on lane: an EL0 SCRATCH0 access would trap undefined and
 	// return to itself forever through the eret stub).
 	el0 bool
+	// faultVAs, when non-empty, mixes directed accesses to these page VAs
+	// into the construct stream (the EL0 paging-fault lane; the handler
+	// skips the faulting instruction, so the stream always terminates).
+	faultVAs []uint64
 }
 
 func (g *generator) label(prefix string) string {
@@ -173,8 +177,13 @@ func (g *generator) epilogue() {
 
 // construct emits one random construct: a simple instruction most of the
 // time, occasionally a branch skip, a bounded loop, a call, or an SVC
-// round-trip.
+// round-trip — plus, in the fault lane, directed accesses to the fault
+// pages.
 func (g *generator) construct() {
+	if len(g.faultVAs) > 0 && g.rng.Intn(6) == 0 {
+		g.faultAccess()
+		return
+	}
 	switch g.rng.Intn(20) {
 	case 0: // forward conditional-branch skip
 		g.forwardBranch()
@@ -186,6 +195,21 @@ func (g *generator) construct() {
 		g.p.Svc(uint32(g.rng.Intn(1 << 14)))
 	default:
 		g.simpleOp()
+	}
+}
+
+// faultAccess emits one load or store into a directed fault page. Whether
+// it traps depends on the page's permissions and the access kind; faulting
+// accesses are skipped by the handler, so destination registers keep their
+// prior values on those paths — all asserted bit-identical across engines.
+func (g *generator) faultAccess() {
+	p, rng := g.p, g.rng
+	va := g.faultVAs[rng.Intn(len(g.faultVAs))] + uint64(rng.Intn(64))*8
+	p.MovI(minDst, va)
+	if rng.Intn(2) == 0 {
+		p.Ldr(g.dst(), minDst, 0)
+	} else {
+		p.Str(g.src(), minDst, 0)
 	}
 }
 

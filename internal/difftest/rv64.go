@@ -2,11 +2,11 @@ package difftest
 
 // The RV64 differential-testing lane: the retargetability loop-closer. A
 // seeded random RV64I+M program generator plus a harness that runs each
-// program through the user-level rv64.Machine (the golden model), the
-// Captive DBT via rv64.Port across offline levels O1–O4 and the QEMU-style
-// baseline, asserting bit-identical x-registers, memory windows and
-// instruction counts — the same contract the GA64 lane enforces, proving
-// the engines are guest-agnostic end to end.
+// program through the unified reference interpreter via rv64.Port (the
+// golden model), the Captive DBT across offline levels O1–O4 and the
+// QEMU-style baseline, asserting bit-identical x-registers, memory windows
+// and instruction counts — the same contract the GA64 lane enforces,
+// proving the engines are guest-agnostic end to end.
 
 import (
 	"encoding/binary"
@@ -18,6 +18,7 @@ import (
 	"captive/internal/guest/rv64"
 	"captive/internal/guest/rv64/asm"
 	"captive/internal/hvm"
+	"captive/internal/interp"
 	"captive/internal/ssa"
 )
 
@@ -77,14 +78,14 @@ func rv64NZCVOff() int {
 func RunRV64(p *Program, id EngineID) (State, error) {
 	switch id.Name {
 	case "interp":
-		m, err := rv64.NewAt(RAMBytes, id.Level)
+		m, err := interp.NewAt(rv64.Port{}, id.Level, RAMBytes)
 		if err != nil {
 			return State{}, err
 		}
-		if err := m.LoadProgram(p.Image, RVOrg); err != nil {
+		if err := m.LoadImage(p.Image, RVOrg, RVOrg); err != nil {
 			return State{}, err
 		}
-		if err := m.Run(stepLimit); err != nil {
+		if _, err := m.Run(stepLimit); err != nil {
 			return State{}, fmt.Errorf("%s: %w", id, err)
 		}
 		st := State{RV64: true, Regs: m.RegState(), Instrs: m.Instrs, ExitCode: m.ExitCode}

@@ -19,7 +19,7 @@ func TestRV64Corpus(t *testing.T) {
 }
 
 // TestRV64Sweep runs the full RV64 differential sweep: fresh seeded
-// programs through the rv64.Machine golden model, the Captive DBT at O1–O4
+// programs through the unified golden engine (via rv64.Port), the Captive DBT at O1–O4
 // (via rv64.Port — the same online pipeline that runs GA64) and the QEMU
 // baseline, asserting bit-identical x-registers, memory windows and
 // instruction counts. Under -short a subset runs.

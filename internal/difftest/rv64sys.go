@@ -5,7 +5,8 @@ package difftest
 // vectors, enable paging, drop to S- or U-mode via mret and trap back —
 // ecalls, controlled page faults (read-only, A=0, D=0, supervisor-only,
 // user-only and unmapped pages), illegal CSR accesses and medeleg-delegated
-// supervisor handling — all swept across rv64.Machine, the Captive DBT at
+// supervisor handling — all swept across the unified reference
+// interpreter (via rv64.Port), the Captive DBT at
 // O1–O4 and the QEMU baseline with bit-identical register files, CSRs,
 // memory windows and instruction counts. This is the system-level half of
 // the retargetability story: guest paging and exceptions in the hot path of
@@ -20,6 +21,7 @@ import (
 	"captive/internal/guest/rv64"
 	"captive/internal/guest/rv64/asm"
 	"captive/internal/hvm"
+	"captive/internal/interp"
 	"captive/internal/ssa"
 )
 
@@ -96,18 +98,18 @@ func RunRV64Sys(p *Program, id EngineID) (State, error) {
 
 	switch id.Name {
 	case "interp":
-		m, err := rv64.NewAt(RAMBytes, id.Level)
+		m, err := interp.NewAt(rv64.Port{}, id.Level, RAMBytes)
 		if err != nil {
 			return State{}, err
 		}
-		if err := m.LoadProgram(p.Image, RVOrg); err != nil {
+		if err := m.LoadImage(p.Image, RVOrg, RVOrg); err != nil {
 			return State{}, err
 		}
-		if err := m.Run(stepLimit); err != nil {
+		if _, err := m.Run(stepLimit); err != nil {
 			return State{}, fmt.Errorf("%s: %w", id, err)
 		}
 		st := State{RV64: true, Regs: m.RegState(), Instrs: m.Instrs,
-			ExitCode: m.ExitCode, CSRs: rvsysSnapshot(&m.Sys)}
+			ExitCode: m.ExitCode, CSRs: rvsysSnapshot(rv64.RawSys(m.Sys()))}
 		st.Data, err = grab(func(pa uint64, dst []byte) error {
 			copy(dst, m.Mem[pa:])
 			return nil

@@ -20,7 +20,7 @@ func TestRV64SysCorpus(t *testing.T) {
 // TestRV64SysSweep is the paged differential sweep: ≥200 seeded programs in
 // full mode that build sv39 tables, enable paging, drop privilege via mret
 // and trap back, each asserted bit-identical (registers, CSRs, memory,
-// instruction counts) across rv64.Machine, Captive O1–O4 and QEMU.
+// instruction counts) across the unified golden engine, Captive O1–O4 and QEMU.
 func TestRV64SysSweep(t *testing.T) {
 	seeds, base := 200, int64(4000)
 	if testing.Short() {

@@ -22,11 +22,16 @@ func (Port) Arch() string { return "ga64" }
 // Module implements port.Port.
 func (Port) Module(level ssa.OptLevel) (*gen.Module, error) { return NewModule(level) }
 
-// Banks implements port.Port.
-func (Port) Banks() port.Banks { return port.Banks{GPR: "X", Flags: "NZCV", FP: "VL"} }
+// Banks implements port.Port (GA64 has no zero register; X31 is the SP).
+func (Port) Banks() port.Banks {
+	return port.Banks{GPR: "X", Flags: "NZCV", FP: "VL", ZeroGPR: -1}
+}
 
 // IsDevice implements port.Port.
 func (Port) IsDevice(pa uint64) bool { return IsDevice(pa) }
+
+// DeviceBase implements port.Port.
+func (Port) DeviceBase() uint64 { return DeviceBase }
 
 // NewSys implements port.Port.
 func (Port) NewSys() port.Sys {

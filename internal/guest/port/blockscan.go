@@ -1,0 +1,69 @@
+package port
+
+// The shared block-formation rules. Every consumer of a guest module that
+// reasons about basic blocks — the unified reference interpreter
+// (internal/interp), the Captive DBT and the QEMU-style baseline (both in
+// internal/core), and the differential-testing harness — must form blocks
+// identically, or instruction accounting stops being engine-independent:
+// the DBT engines charge a whole translated block at entry, so a golden
+// model that cuts blocks differently retires different counts the moment a
+// program faults mid-block. This file is the single implementation of those
+// rules; QEMU keeps the same discipline across targets with its one
+// translation-block layer (tb_gen_code), and MAMBO-X64-style DBTs likewise
+// rely on a single source of truth for block boundaries when validating
+// counts.
+
+import "captive/internal/gen"
+
+// MaxBlockInstrs bounds guest basic-block length in every execution engine.
+// It is enforced by ScanBlock, so golden models and DBT engines can never
+// disagree on where a long straight-line run is cut.
+const MaxBlockInstrs = 64
+
+// InstrBytes is the width of one guest instruction word. Both generated
+// guests use fixed 32-bit encodings, as does the engines' fetch path.
+const InstrBytes = 4
+
+// FetchRead reads one instruction word of guest physical memory; ok is
+// false beyond RAM (the engines' unreadable-fetch path, which ends — or,
+// at a block start, voids — the scan).
+type FetchRead func(pa uint64) (word uint32, ok bool)
+
+// ScanBlock forms the guest basic block starting at physical address pa
+// with the engines' shared formation rules:
+//
+//   - blocks never span a guest physical page (the code cache is
+//     physically indexed and SMC protection is per-page),
+//   - blocks never exceed MaxBlockInstrs,
+//   - a block-ending behaviour (branch, exception-raising or
+//     regime-changing instruction) is always the last instruction,
+//   - an unreadable or undecodable word cuts the block before it.
+//
+// The scan appends into buf (pass block[:0] to reuse storage) and returns
+// the decoded prefix. undef is true when the very first word failed to
+// read or decode: the caller owes the guest an undefined-instruction
+// exception (the engines' hUndef path) and no instructions are charged.
+func ScanBlock(m *gen.Module, read FetchRead, pa uint64, buf []gen.Decoded) (block []gen.Decoded, undef bool) {
+	block = buf[:0]
+	for len(block) < MaxBlockInstrs {
+		ipa := pa + uint64(InstrBytes*len(block))
+		if ipa>>12 != pa>>12 {
+			break // blocks never span guest physical pages
+		}
+		word, ok := read(ipa)
+		if !ok {
+			undef = len(block) == 0
+			break
+		}
+		d, ok := m.Decode(uint64(word))
+		if !ok {
+			undef = len(block) == 0
+			break
+		}
+		block = append(block, d)
+		if d.Info.Action.EndsBlock {
+			break
+		}
+	}
+	return block, undef
+}

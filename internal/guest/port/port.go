@@ -58,11 +58,6 @@ func (w WalkResult) CheckAccess(write bool, el uint8) bool {
 	return true
 }
 
-// MaxBlockInstrs bounds guest basic-block length in every DBT engine.
-// Golden models that replicate the engines' block-granular instruction
-// accounting (rv64.Machine) must scan with the same bound.
-const MaxBlockInstrs = 64
-
 // Hooks are the runtime services guest system operations may need. The
 // engine wires them after creating the port's Sys and passes them to every
 // ReadReg/WriteReg call — ports must use the *Hooks they are handed at call
@@ -158,6 +153,12 @@ type Banks struct {
 	GPR   string // 64-bit general-purpose bank ("X")
 	Flags string // byte-wide flags bank ("NZCV")
 	FP    string // low-half FP/vector bank ("VL"), or "" if none
+	// ZeroGPR is the index of a hardwired-zero GPR (RISC-V x0), or -1 when
+	// the guest has none. The generated model never writes that bank slot —
+	// it only relies on it staying 0 — so host-side register pokes
+	// (debuggers, harnesses, the interpreter's SetReg) must drop writes to
+	// it. Ports without a zero register MUST set -1 explicitly.
+	ZeroGPR int
 }
 
 // Port is one guest architecture as seen by the execution engines. A Port is
@@ -177,4 +178,8 @@ type Port interface {
 	// memory-mapped I/O window (trap-and-emulate in the engines). Ports
 	// without devices return false.
 	IsDevice(pa uint64) bool
+	// DeviceBase returns the base guest physical address of the MMIO
+	// window — the offset origin for device.Bus accesses. Only meaningful
+	// for ports whose IsDevice can return true; device-less ports return 0.
+	DeviceBase() uint64
 }

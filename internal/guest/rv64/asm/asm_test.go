@@ -4,23 +4,34 @@ import (
 	"testing"
 
 	"captive/internal/guest/rv64"
+	"captive/internal/interp"
+	"captive/internal/ssa"
 )
 
-// run assembles p and executes it on the reference rv64 Machine.
-func run(t *testing.T, p *Program) *rv64.Machine {
+// newMachine creates the unified reference interpreter for the RV64 guest —
+// the assembler is only trusted as far as the generated decoder accepts its
+// encodings, so every builder is executed through the golden engine.
+func newMachine(t *testing.T) *interp.Machine {
+	t.Helper()
+	m, err := interp.NewAt(rv64.Port{}, ssa.O4, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// run assembles p and executes it on the reference interpreter.
+func run(t *testing.T, p *Program) *interp.Machine {
 	t.Helper()
 	img, err := p.Assemble()
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := rv64.New(1 << 20)
-	if err != nil {
+	m := newMachine(t)
+	if err := m.LoadImage(img, p.Org(), p.Org()); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.LoadProgram(img, p.Org()); err != nil {
-		t.Fatal(err)
-	}
-	if err := m.Run(1_000_000); err != nil {
+	if _, err := m.Run(1_000_000); err != nil {
 		t.Fatal(err)
 	}
 	return m
@@ -179,14 +190,11 @@ func TestLa(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := rv64.New(1 << 20)
-	if err != nil {
+	m := newMachine(t)
+	if err := m.LoadImage(img, 0x1000, 0x1000); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.LoadProgram(img, 0x1000); err != nil {
-		t.Fatal(err)
-	}
-	if err := m.Run(1000); err != nil {
+	if _, err := m.Run(1000); err != nil {
 		t.Fatal(err)
 	}
 	if m.Reg(5) != p.Addr("fwd") || m.Reg(6) != 0x1000 {

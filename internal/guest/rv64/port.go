@@ -36,11 +36,16 @@ func (Port) Arch() string { return "rv64" }
 // Module implements port.Port.
 func (Port) Module(level ssa.OptLevel) (*gen.Module, error) { return NewModule(level) }
 
-// Banks implements port.Port. RV64 has no FP bank.
-func (Port) Banks() port.Banks { return port.Banks{GPR: "X", Flags: "NZCV"} }
+// Banks implements port.Port. RV64 has no FP bank; x0 is hardwired zero.
+func (Port) Banks() port.Banks {
+	return port.Banks{GPR: "X", Flags: "NZCV", ZeroGPR: 0}
+}
 
 // IsDevice implements port.Port: the model has no MMIO window.
 func (Port) IsDevice(uint64) bool { return false }
+
+// DeviceBase implements port.Port (no MMIO window).
+func (Port) DeviceBase() uint64 { return 0 }
 
 // NewSys implements port.Port.
 func (Port) NewSys() port.Sys {

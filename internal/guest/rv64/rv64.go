@@ -2,23 +2,19 @@
 // demonstration of §3.3/Table 5, grown into a full-system guest. It is
 // generated from the same ADL toolchain as GA64 and carries M/S/U privilege
 // modes, the machine/supervisor CSR file, vectored traps with medeleg
-// delegation and an sv39 page-table walker (sys.go). The bundled Machine is
-// the golden interpreter the differential tester compares the DBT engines
-// against: it translates every access through the same walker, injects the
-// same exceptions, and replicates the engines' block-granular instruction
-// accounting so even programs that fault mid-block retire bit-identical
-// counts.
+// delegation and an sv39 page-table walker (sys.go) — all behind rv64.Port,
+// through which every execution engine (the unified reference interpreter
+// in internal/interp and both DBT engines in internal/core) runs this guest
+// without importing it.
 package rv64
 
 import (
 	_ "embed"
-	"encoding/binary"
 	"fmt"
 	"sync"
 
 	"captive/internal/adl"
 	"captive/internal/gen"
-	"captive/internal/guest/port"
 	"captive/internal/ssa"
 )
 
@@ -62,365 +58,4 @@ func MustModule() *gen.Module {
 		panic(fmt.Sprintf("rv64: model build failed: %v", err))
 	}
 	return m
-}
-
-// Machine is the full-system RV64 reference interpreter: physical memory,
-// the register file and the M/S/U system state, executing through the
-// generated decoder and the SSA interpreter.
-type Machine struct {
-	Module  *gen.Module
-	Mem     []byte
-	RegFile []byte
-	Sys     Sys
-	Halted  bool
-	// ExitCode is set when a trap with no vector installed halts the
-	// machine: 0 for ecall, 1 for ebreak, 0xDEAD000x for aborts.
-	ExitCode uint64
-	// Instrs counts retired guest instructions *block-granularly*: the DBT
-	// engines charge a whole translated block at entry, so the golden model
-	// scans blocks with the same formation rules and counts them the same
-	// way. For programs without mid-block faults this equals the
-	// per-instruction count.
-	Instrs uint64
-	// Exceptions counts taken guest traps (including halting ones).
-	Exceptions uint64
-
-	interp  *ssa.Interp
-	fields  map[string]uint64
-	hooks   port.Hooks
-	wrote   bool
-	curPC   uint64
-	pending struct {
-		redirect bool
-		pc       uint64
-	}
-
-	// The scanned block currently executing (block-granular accounting).
-	block    []gen.Decoded
-	blockIdx int
-}
-
-// New creates a machine with the given flat physical memory size at O4.
-func New(memBytes int) (*Machine, error) {
-	return NewAt(memBytes, ssa.O4)
-}
-
-// NewAt creates a machine with the given physical memory size and offline
-// optimization level.
-func NewAt(memBytes int, level ssa.OptLevel) (*Machine, error) {
-	module, err := NewModule(level)
-	if err != nil {
-		return nil, err
-	}
-	m := &Machine{
-		Module:  module,
-		Mem:     make([]byte, memBytes),
-		RegFile: make([]byte, module.Layout.Size),
-		interp:  ssa.NewInterp(),
-		fields:  make(map[string]uint64),
-	}
-	m.Sys.Reset()
-	// Nothing is cached across accesses (the walker runs fresh every time;
-	// the scanned block never outlives a regime-changing instruction, which
-	// ends its block), so translation changes need no action here.
-	m.hooks = port.Hooks{TranslationChanged: func() {}}
-	return m, nil
-}
-
-// Reg reads register xN.
-func (m *Machine) Reg(n int) uint64 {
-	b := m.Module.Registry.Bank("X")
-	return binary.LittleEndian.Uint64(m.RegFile[b.Offset+n*b.Stride:])
-}
-
-// SetReg writes register xN (writes to x0 are dropped).
-func (m *Machine) SetReg(n int, v uint64) {
-	if n == 0 {
-		return
-	}
-	b := m.Module.Registry.Bank("X")
-	binary.LittleEndian.PutUint64(m.RegFile[b.Offset+n*b.Stride:], v)
-}
-
-// PC reads the program counter.
-func (m *Machine) PC() uint64 {
-	return binary.LittleEndian.Uint64(m.RegFile[m.Module.Layout.PCOffset:])
-}
-
-// SetPC sets the program counter.
-func (m *Machine) SetPC(v uint64) {
-	binary.LittleEndian.PutUint64(m.RegFile[m.Module.Layout.PCOffset:], v)
-}
-
-// RegState returns a copy of the architectural register file below the PC
-// slot (X, NZCV), the engine-independent state differential tests compare.
-func (m *Machine) RegState() []byte {
-	out := make([]byte, m.Module.Layout.PCOffset)
-	copy(out, m.RegFile)
-	return out
-}
-
-// LoadProgram copies code into physical memory and sets the PC.
-func (m *Machine) LoadProgram(code []byte, addr uint64) error {
-	if addr+uint64(len(code)) > uint64(len(m.Mem)) {
-		return fmt.Errorf("rv64: program exceeds memory")
-	}
-	copy(m.Mem[addr:], code)
-	m.SetPC(addr)
-	return nil
-}
-
-// physRead64 reads guest physical memory for the page-table walker.
-func (m *Machine) physRead64(pa uint64) (uint64, bool) {
-	if pa+8 > uint64(len(m.Mem)) {
-		return 0, false
-	}
-	return binary.LittleEndian.Uint64(m.Mem[pa:]), true
-}
-
-// raise injects a guest exception exactly as the engines do: vector to the
-// handler, or halt when no vector is installed.
-func (m *Machine) raise(ex port.Exception) {
-	m.Exceptions++
-	entry := m.Sys.Take(ex, &m.hooks)
-	if entry.Halt {
-		m.Halted = true
-		m.ExitCode = entry.Code
-		return
-	}
-	m.pending.redirect = true
-	m.pending.pc = entry.PC
-}
-
-// translate resolves a guest virtual data address, raising the appropriate
-// abort on failure. The returned physical address is for the access *base*;
-// accesses spanning a page boundary proceed physically contiguous from it,
-// the engines' fast-path behaviour.
-func (m *Machine) translate(va uint64, write bool) (uint64, bool) {
-	w := m.Sys.Walk(m.physRead64, va)
-	if !w.OK {
-		m.raise(port.Exception{Kind: port.ExcDataAbort, Translation: true, Write: write, Addr: va, PC: m.curPC})
-		return 0, false
-	}
-	if !w.CheckAccess(write, m.Sys.Mode) {
-		m.raise(port.Exception{Kind: port.ExcDataAbort, Write: write, Addr: va, PC: m.curPC})
-		return 0, false
-	}
-	return w.PA, true
-}
-
-// state adapter: Machine implements ssa.State.
-
-// ReadBank implements ssa.State.
-func (m *Machine) ReadBank(b *ssa.Bank, idx uint64) uint64 {
-	off := b.Offset + int(idx)*b.Stride
-	if b.Stride == 1 {
-		return uint64(m.RegFile[off])
-	}
-	return binary.LittleEndian.Uint64(m.RegFile[off:])
-}
-
-// WriteBank implements ssa.State.
-func (m *Machine) WriteBank(b *ssa.Bank, idx uint64, v uint64) {
-	off := b.Offset + int(idx)*b.Stride
-	if b.Stride == 1 {
-		m.RegFile[off] = uint8(v)
-		return
-	}
-	binary.LittleEndian.PutUint64(m.RegFile[off:], v)
-}
-
-// ReadPC implements ssa.State.
-func (m *Machine) ReadPC() uint64 { return m.PC() }
-
-// WritePC implements ssa.State.
-func (m *Machine) WritePC(v uint64) { m.wrote = true; m.SetPC(v) }
-
-// MemRead implements ssa.State.
-func (m *Machine) MemRead(width uint8, va uint64) (uint64, bool) {
-	pa, ok := m.translate(va, false)
-	if !ok {
-		return 0, false
-	}
-	if pa+uint64(width) > uint64(len(m.Mem)) {
-		m.raise(port.Exception{Kind: port.ExcDataAbort, Translation: true, Addr: va, PC: m.curPC})
-		return 0, false
-	}
-	switch width {
-	case 1:
-		return uint64(m.Mem[pa]), true
-	case 2:
-		return uint64(binary.LittleEndian.Uint16(m.Mem[pa:])), true
-	case 4:
-		return uint64(binary.LittleEndian.Uint32(m.Mem[pa:])), true
-	default:
-		return binary.LittleEndian.Uint64(m.Mem[pa:]), true
-	}
-}
-
-// MemWrite implements ssa.State.
-func (m *Machine) MemWrite(width uint8, va uint64, v uint64) bool {
-	pa, ok := m.translate(va, true)
-	if !ok {
-		return false
-	}
-	if pa+uint64(width) > uint64(len(m.Mem)) {
-		m.raise(port.Exception{Kind: port.ExcDataAbort, Translation: true, Write: true, Addr: va, PC: m.curPC})
-		return false
-	}
-	switch width {
-	case 1:
-		m.Mem[pa] = uint8(v)
-	case 2:
-		binary.LittleEndian.PutUint16(m.Mem[pa:], uint16(v))
-	case 4:
-		binary.LittleEndian.PutUint32(m.Mem[pa:], uint32(v))
-	default:
-		binary.LittleEndian.PutUint64(m.Mem[pa:], v)
-	}
-	return true
-}
-
-// Intrinsic implements ssa.State.
-func (m *Machine) Intrinsic(id ssa.IntrID, args []uint64) (uint64, bool) {
-	if v, ok := ssa.PureIntrinsic(id, args); ok {
-		return v, true
-	}
-	switch id {
-	case ssa.IntrSysRead:
-		v, ok := m.Sys.ReadReg(args[0], &m.hooks)
-		if !ok {
-			m.raise(port.Exception{Kind: port.ExcUndefined, PC: m.curPC})
-			return 0, false
-		}
-		return v, true
-	case ssa.IntrSysWrite:
-		if !m.Sys.WriteReg(args[0], args[1], &m.hooks) {
-			m.raise(port.Exception{Kind: port.ExcUndefined, PC: m.curPC})
-			return 0, false
-		}
-		return 0, true
-	case ssa.IntrSVC:
-		m.raise(port.Exception{Kind: port.ExcSyscall, Imm: uint32(args[0]), PC: m.curPC + 4})
-		return 0, false
-	case ssa.IntrBRK:
-		m.raise(port.Exception{Kind: port.ExcBreakpoint, Imm: uint32(args[0]), PC: m.curPC})
-		return 0, false
-	case ssa.IntrERet:
-		m.pending.redirect = true
-		m.pending.pc = m.Sys.ERet(&m.hooks)
-		return 0, false
-	case ssa.IntrTLBIAll:
-		// The interpreter walks tables on every access: nothing cached.
-		return 0, true
-	case ssa.IntrHlt:
-		m.Halted = true
-		m.ExitCode = args[0]
-		return 0, false
-	}
-	return 0, true
-}
-
-// scanBlock forms the basic block starting at the current PC with the exact
-// engine rules (translate the fetch, decode until a block-ending behaviour,
-// a page boundary, the block-length bound or an undecodable word) and
-// charges its instruction count — the engines' instrumentation prologue. It
-// returns false when the fetch itself trapped (count unchanged, like the
-// engines' pre-translation abort or hUndef path).
-func (m *Machine) scanBlock() bool {
-	pc := m.PC()
-	w := m.Sys.Walk(m.physRead64, pc)
-	if !w.OK {
-		m.raise(port.Exception{Kind: port.ExcInsnAbort, Translation: true, Addr: pc, PC: pc})
-		return false
-	}
-	if (m.Sys.Mode == PrivU && !w.User) || !w.Exec {
-		m.raise(port.Exception{Kind: port.ExcInsnAbort, Addr: pc, PC: pc})
-		return false
-	}
-	pa := w.PA
-	m.block = m.block[:0]
-	m.blockIdx = 0
-	undef := false
-	for len(m.block) < port.MaxBlockInstrs {
-		ipa := pa + uint64(4*len(m.block))
-		if ipa>>12 != pa>>12 {
-			break // blocks never span guest physical pages
-		}
-		if ipa+4 > uint64(len(m.Mem)) {
-			undef = len(m.block) == 0
-			break
-		}
-		d, ok := m.Module.Decode(uint64(binary.LittleEndian.Uint32(m.Mem[ipa:])))
-		if !ok {
-			undef = len(m.block) == 0
-			break
-		}
-		m.block = append(m.block, d)
-		if d.Info.Action.EndsBlock {
-			break
-		}
-	}
-	if undef || len(m.block) == 0 {
-		m.raise(port.Exception{Kind: port.ExcUndefined, PC: pc})
-		return false
-	}
-	m.Instrs += uint64(len(m.block))
-	return true
-}
-
-// Step executes one guest instruction (entering a new block first when
-// needed). It returns false when the machine has halted.
-func (m *Machine) Step() (bool, error) {
-	if m.Halted {
-		return false, nil
-	}
-	if m.blockIdx >= len(m.block) {
-		if !m.scanBlock() {
-			if m.pending.redirect {
-				m.SetPC(m.pending.pc)
-				m.pending.redirect = false
-			}
-			return !m.Halted, nil
-		}
-	}
-	d := m.block[m.blockIdx]
-	pc := m.PC()
-	m.curPC = pc
-	m.wrote = false
-	m.pending.redirect = false
-	ok, err := m.interp.Run(d.Info.Action, d.FieldsInto(m.fields), m)
-	if err != nil {
-		return false, fmt.Errorf("rv64: at %#x (%s): %w", pc, d.Info.Name, err)
-	}
-	if ok && !m.wrote {
-		m.SetPC(pc + 4)
-	}
-	switch {
-	case m.pending.redirect:
-		m.SetPC(m.pending.pc)
-		m.pending.redirect = false
-		m.block = m.block[:0]
-	case m.wrote:
-		m.block = m.block[:0]
-	default:
-		m.blockIdx++
-	}
-	return !m.Halted, nil
-}
-
-// Run executes until the machine halts or the step limit is reached. The
-// limit counts steps rather than retired instructions so that exception
-// loops still terminate.
-func (m *Machine) Run(limit uint64) error {
-	for steps := uint64(0); steps < limit; steps++ {
-		alive, err := m.Step()
-		if err != nil {
-			return err
-		}
-		if !alive {
-			return nil
-		}
-	}
-	return fmt.Errorf("rv64: step limit reached at pc %#x", m.PC())
 }

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"captive/internal/guest/port"
+	"captive/internal/interp"
+	"captive/internal/ssa"
 )
 
 // RISC-V instruction encoders for tests (real RV64I encodings).
@@ -36,16 +38,18 @@ func prog(words ...uint32) []byte {
 	return out
 }
 
-func run(t *testing.T, words ...uint32) *Machine {
+// run executes hand-encoded words on the unified reference interpreter via
+// rv64.Port — the same golden configuration the difftest lanes use.
+func run(t *testing.T, words ...uint32) *interp.Machine {
 	t.Helper()
-	m, err := New(1 << 20)
+	m, err := interp.NewAt(Port{}, ssa.O4, 1<<20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.LoadProgram(prog(words...), 0x1000); err != nil {
+	if err := m.LoadImage(prog(words...), 0x1000, 0x1000); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Run(1_000_000); err != nil {
+	if _, err := m.Run(1_000_000); err != nil {
 		t.Fatal(err)
 	}
 	return m
@@ -362,43 +366,44 @@ func TestRegimeShiftFiresHooks(t *testing.T) {
 	}
 }
 
-// TestMachinePagedTrapRoundTrip drives the golden Machine end to end: sv39
-// tables in memory, an S-mode store into a read-only megapage, the fault
-// vectoring to the M handler (which clears mtvec and exits through the
-// vectorless ecall path).
+// TestMachinePagedTrapRoundTrip drives the unified golden machine end to
+// end through rv64.Port: sv39 tables in memory, an S-mode store into a
+// read-only megapage, the fault vectoring to the M handler (which clears
+// mtvec and exits through the vectorless ecall path).
 func TestMachinePagedTrapRoundTrip(t *testing.T) {
-	m, err := New(8 << 20)
+	m, err := interp.NewAt(Port{}, ssa.O4, 8<<20)
 	if err != nil {
 		t.Fatal(err)
 	}
+	sys := RawSys(m.Sys())
 	const root = 0x700000
 	w64 := func(pa, v uint64) { binary.LittleEndian.PutUint64(m.Mem[pa:], v) }
 	w64(root, (root+0x1000)>>12<<10|PTEV)
 	w64(root+0x1000, 0|PTEV|PTER|PTEW|PTEX|PTEA|PTED)        // 0..2MiB RWX
 	w64(root+0x1000+8, 0x200000>>12<<10|PTEV|PTER|PTEA|PTED) // 2..4MiB RO
-	m.Sys.Mtvec = 0x2000
-	m.Sys.Satp = SatpModeSv39<<60 | root>>12
-	m.Sys.Mode = PrivS
-	if err := m.LoadProgram(prog(
+	sys.Mtvec = 0x2000
+	sys.Satp = SatpModeSv39<<60 | root>>12
+	sys.Mode = PrivS
+	if err := m.LoadImage(prog(
 		encU(0x200, 5, 0b0110111),   // lui x5, 0x200 -> 0x200000
 		encS(0, 6, 5, 3, 0b0100011), // sd x6, 0(x5) -> store page fault
-	), 0x1000); err != nil {
+	), 0x1000, 0x1000); err != nil {
 		t.Fatal(err)
 	}
 	copy(m.Mem[0x2000:], prog(
 		encI(0x305, 0, 1, 0, 0b1110011), // csrw mtvec, x0
 		ecall,                           // vectorless: clean halt
 	))
-	if err := m.Run(1000); err != nil {
+	if _, err := m.Run(1000); err != nil {
 		t.Fatal(err)
 	}
 	if !m.Halted || m.ExitCode != 0 {
 		t.Fatalf("halted=%v code=%#x", m.Halted, m.ExitCode)
 	}
-	if m.Sys.Mcause != CauseStorePage || m.Sys.Mtval != 0x200000 || m.Sys.Mepc != 0x1004 {
-		t.Fatalf("mcause=%d mtval=%#x mepc=%#x", m.Sys.Mcause, m.Sys.Mtval, m.Sys.Mepc)
+	if sys.Mcause != CauseStorePage || sys.Mtval != 0x200000 || sys.Mepc != 0x1004 {
+		t.Fatalf("mcause=%d mtval=%#x mepc=%#x", sys.Mcause, sys.Mtval, sys.Mepc)
 	}
-	if m.Sys.Mode != PrivM {
-		t.Fatalf("mode=%d", m.Sys.Mode)
+	if sys.Mode != PrivM {
+		t.Fatalf("mode=%d", sys.Mode)
 	}
 }

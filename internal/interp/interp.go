@@ -1,8 +1,19 @@
-// Package interp is the reference execution engine: a full-system guest
-// interpreter driven directly by the generated decoder and the SSA
-// behaviours of the architecture model. It is the golden model the two DBT
-// engines are differentially tested against, and the slowest but simplest
-// of the three engines.
+// Package interp is the unified reference execution engine: a full-system
+// guest interpreter driven by a generated module and the guest-port
+// abstraction layer — the same `port.Port`/`port.Sys` seam the DBT engines
+// in internal/core consume. It is the golden model every engine is
+// differentially tested against, for every guest: it knows no concrete
+// architecture (the port invariant extends here — this package must never
+// import captive/internal/guest/<concrete>).
+//
+// The machine retires instructions *block-granularly*, with the exact block
+// formation rules of the DBT engines (port.ScanBlock: block-ending
+// behaviours, guest-physical page-boundary cuts, the port.MaxBlockInstrs
+// cap). The engines charge a whole translated block at entry, so a golden
+// model that counted instruction-by-instruction would diverge the moment a
+// program faults mid-block; scanning blocks the same way makes instruction
+// counts bit-identical across engines even through page faults,
+// self-modifying code and privilege transitions.
 package interp
 
 import (
@@ -11,62 +22,109 @@ import (
 
 	"captive/internal/device"
 	"captive/internal/gen"
-	"captive/internal/guest/ga64"
+	"captive/internal/guest/port"
 	"captive/internal/ssa"
 )
 
-// Machine is an interpreted GA64 guest machine.
+// Machine is an interpreted guest machine for any ported architecture.
 type Machine struct {
 	Module *gen.Module
 	Mem    []byte // guest physical memory
-	Sys    ga64.Sys
 	Bus    device.Bus
 
 	// RegFile is the guest register file, laid out per the module layout.
 	RegFile []byte
 
-	// Halted and ExitCode are set by the guest hlt instruction.
+	// Halted and ExitCode are set by the guest halt instruction or by a
+	// port that terminates the machine on an unvectored exception.
 	Halted   bool
 	ExitCode uint64
 
-	// Instrs counts executed guest instructions.
+	// Instrs counts retired guest instructions block-granularly: the whole
+	// block is charged when it is entered, exactly like the engines'
+	// instrumentation prologue. For programs without mid-block faults this
+	// equals the per-instruction count.
 	Instrs uint64
-	// Exceptions counts taken guest exceptions.
+	// Exceptions counts taken guest exceptions (including halting ones).
 	Exceptions uint64
 
+	guest   port.Port
+	sys     port.Sys
 	interp  *ssa.Interp
 	fields  map[string]uint64
+	hooks   port.Hooks
+	wrotePC bool
+	curPC   uint64
 	pending struct {
 		redirect bool
 		pc       uint64
 	}
-	wrotePC bool
 
-	nzcvBank *ssa.Bank
-	hooks    ga64.Hooks
+	gprBank   *ssa.Bank
+	flagsBank *ssa.Bank
+	fpBank    *ssa.Bank // nil for guests without an FP bank
+	zeroGPR   int       // hardwired-zero GPR index, -1 when none
+	devBase   uint64
+
+	// The scanned block currently executing (block-granular accounting).
+	block    []gen.Decoded
+	blockIdx int
 }
 
-// New creates a machine with the given amount of guest RAM.
-func New(module *gen.Module, ramBytes int) *Machine {
+// New creates a machine for the guest architecture described by g with the
+// given amount of guest RAM. module must be a module built by (or
+// compatible with) g.Module — difftest builds modules per offline level and
+// passes them in directly.
+func New(g port.Port, module *gen.Module, ramBytes int) *Machine {
+	banks := g.Banks()
 	m := &Machine{
 		Module:  module,
 		Mem:     make([]byte, ramBytes),
 		RegFile: make([]byte, module.Layout.Size),
+		guest:   g,
+		sys:     g.NewSys(),
 		interp:  ssa.NewInterp(),
 		fields:  make(map[string]uint64),
+		zeroGPR: banks.ZeroGPR,
+		devBase: g.DeviceBase(),
 	}
-	m.Sys.Reset()
-	m.nzcvBank = module.Registry.Bank("NZCV")
-	m.Bus.Cycles = func() uint64 { return m.Instrs }
-	m.hooks = ga64.Hooks{
-		CycleCount:         func() uint64 { return m.Instrs },
+	m.gprBank = module.Registry.Bank(banks.GPR)
+	m.flagsBank = module.Registry.Bank(banks.Flags)
+	if banks.FP != "" {
+		m.fpBank = module.Registry.Bank(banks.FP)
+	}
+	// The virtual counter advances with retired instructions. Blocks are
+	// charged at entry, so subtract the not-yet-executed suffix to keep the
+	// counter monotonic within a block.
+	retired := func() uint64 { return m.Instrs - uint64(len(m.block)-m.blockIdx) }
+	m.Bus.Cycles = retired
+	// Nothing is cached across accesses (the walker runs fresh every time;
+	// a scanned block never outlives a regime-changing instruction, which
+	// ends its block per the shared rules), so translation changes need no
+	// action here.
+	m.hooks = port.Hooks{
+		CycleCount:         retired,
 		TranslationChanged: func() {},
 	}
 	return m
 }
 
-// LoadImage copies a program image into guest physical memory and points the
-// PC at its entry.
+// NewAt builds the guest module at the given offline optimization level and
+// creates a machine around it.
+func NewAt(g port.Port, level ssa.OptLevel, ramBytes int) (*Machine, error) {
+	module, err := g.Module(level)
+	if err != nil {
+		return nil, err
+	}
+	return New(g, module, ramBytes), nil
+}
+
+// Sys exposes the guest system state. Guest packages provide unwrappers for
+// their concrete state (e.g. ga64.RawSys, rv64.RawSys).
+func (m *Machine) Sys() port.Sys { return m.sys }
+
+// LoadImage copies a program image into guest physical memory and points
+// the PC at its entry.
 func (m *Machine) LoadImage(data []byte, loadPA, entry uint64) error {
 	if loadPA+uint64(len(data)) > uint64(len(m.Mem)) {
 		return fmt.Errorf("interp: image of %d bytes at %#x exceeds %d bytes of RAM", len(data), loadPA, len(m.Mem))
@@ -76,22 +134,27 @@ func (m *Machine) LoadImage(data []byte, loadPA, entry uint64) error {
 	return nil
 }
 
-// Reg returns guest register Xn.
+// Reg returns GPR n.
 func (m *Machine) Reg(n int) uint64 {
-	bank := m.Module.Registry.Bank("X")
-	return binary.LittleEndian.Uint64(m.RegFile[bank.Offset+n*bank.Stride:])
+	return binary.LittleEndian.Uint64(m.RegFile[m.gprBank.Offset+n*m.gprBank.Stride:])
 }
 
-// SetReg sets guest register Xn.
+// SetReg sets GPR n. Writes to the guest's hardwired-zero register (RISC-V
+// x0) are dropped: the generated model relies on that bank slot staying 0.
 func (m *Machine) SetReg(n int, v uint64) {
-	bank := m.Module.Registry.Bank("X")
-	binary.LittleEndian.PutUint64(m.RegFile[bank.Offset+n*bank.Stride:], v)
+	if n == m.zeroGPR {
+		return
+	}
+	binary.LittleEndian.PutUint64(m.RegFile[m.gprBank.Offset+n*m.gprBank.Stride:], v)
 }
 
-// FReg returns the low half of guest vector register Vn.
+// FReg returns the low half of FP/vector register n (0 for guests without
+// an FP bank).
 func (m *Machine) FReg(n int) uint64 {
-	bank := m.Module.Registry.Bank("VL")
-	return binary.LittleEndian.Uint64(m.RegFile[bank.Offset+n*bank.Stride:])
+	if m.fpBank == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(m.RegFile[m.fpBank.Offset+n*m.fpBank.Stride:])
 }
 
 // PC returns the guest program counter.
@@ -106,20 +169,19 @@ func (m *Machine) SetPC(v uint64) {
 
 // NZCV returns the guest flags nibble.
 func (m *Machine) NZCV() uint8 {
-	return m.RegFile[m.nzcvBank.Offset]
+	return m.RegFile[m.flagsBank.Offset]
 }
 
 // SetNZCV sets the guest flags nibble.
 func (m *Machine) SetNZCV(v uint8) {
-	m.RegFile[m.nzcvBank.Offset] = v & 0xF
+	m.RegFile[m.flagsBank.Offset] = v & 0xF
 }
 
 // Console returns the guest's UART output.
 func (m *Machine) Console() string { return m.Bus.Console() }
 
 // RegState returns a copy of the architectural register file below the PC
-// slot (X, VL, VH, NZCV), the engine-independent state differential tests
-// compare.
+// slot — the engine-independent state differential tests compare.
 func (m *Machine) RegState() []byte {
 	out := make([]byte, m.Module.Layout.PCOffset)
 	copy(out, m.RegFile)
@@ -134,24 +196,40 @@ func (m *Machine) physRead64(pa uint64) (uint64, bool) {
 	return binary.LittleEndian.Uint64(m.Mem[pa:]), true
 }
 
-// takeException routes an exception and redirects the PC.
-func (m *Machine) takeException(ec uint8, iss uint32, far uint64, preferredReturn uint64) {
-	m.Exceptions++
-	newPC := m.Sys.TakeException(ec, iss, far, m.NZCV(), preferredReturn, false)
-	m.pending.redirect = true
-	m.pending.pc = newPC
-}
-
-// translate resolves a guest virtual address, returning ok=false after
-// raising the appropriate abort.
-func (m *Machine) translate(va uint64, write, insn bool) (uint64, bool) {
-	w := ga64.Walk(m.physRead64, &m.Sys, va)
-	if !w.OK {
-		m.takeException(ga64.AbortEC(insn, m.Sys.EL), ga64.AbortISS(true, write), va, m.PC())
+// fetchRead reads one instruction word for the block scanner.
+func (m *Machine) fetchRead(pa uint64) (uint32, bool) {
+	if pa+port.InstrBytes > uint64(len(m.Mem)) {
 		return 0, false
 	}
-	if !w.CheckAccess(write, m.Sys.EL) {
-		m.takeException(ga64.AbortEC(insn, m.Sys.EL), ga64.AbortISS(false, write), va, m.PC())
+	return binary.LittleEndian.Uint32(m.Mem[pa:]), true
+}
+
+// raise injects a guest exception exactly as the engines do: vector to the
+// guest handler, or halt when the port terminates the machine.
+func (m *Machine) raise(ex port.Exception) {
+	m.Exceptions++
+	entry := m.sys.Take(ex, m.NZCV(), &m.hooks)
+	if entry.Halt {
+		m.Halted = true
+		m.ExitCode = entry.Code
+		return
+	}
+	m.pending.redirect = true
+	m.pending.pc = entry.PC
+}
+
+// translate resolves a guest virtual data address, raising the appropriate
+// abort on failure. The returned physical address is for the access *base*;
+// accesses spanning a page boundary proceed physically contiguous from it,
+// the engines' fast-path behaviour.
+func (m *Machine) translate(va uint64, write bool) (uint64, bool) {
+	w := m.sys.Walk(m.physRead64, va)
+	if !w.OK {
+		m.raise(port.Exception{Kind: port.ExcDataAbort, Translation: true, Write: write, Addr: va, PC: m.curPC})
+		return 0, false
+	}
+	if !w.CheckAccess(write, m.sys.EL()) {
+		m.raise(port.Exception{Kind: port.ExcDataAbort, Write: write, Addr: va, PC: m.curPC})
 		return 0, false
 	}
 	return w.PA, true
@@ -200,15 +278,15 @@ func (m *Machine) WritePC(v uint64) {
 
 // MemRead implements ssa.State.
 func (m *Machine) MemRead(width uint8, va uint64) (uint64, bool) {
-	pa, ok := m.translate(va, false, false)
+	pa, ok := m.translate(va, false)
 	if !ok {
 		return 0, false
 	}
-	if ga64.IsDevice(pa) {
-		return m.Bus.Read(pa-ga64.DeviceBase, width), true
+	if m.guest.IsDevice(pa) {
+		return m.Bus.Read(pa-m.devBase, width), true
 	}
 	if pa+uint64(width) > uint64(len(m.Mem)) {
-		m.takeException(ga64.AbortEC(false, m.Sys.EL), ga64.AbortISS(true, false), va, m.PC())
+		m.raise(port.Exception{Kind: port.ExcDataAbort, Translation: true, Addr: va, PC: m.curPC})
 		return 0, false
 	}
 	switch width {
@@ -225,16 +303,16 @@ func (m *Machine) MemRead(width uint8, va uint64) (uint64, bool) {
 
 // MemWrite implements ssa.State.
 func (m *Machine) MemWrite(width uint8, va uint64, v uint64) bool {
-	pa, ok := m.translate(va, true, false)
+	pa, ok := m.translate(va, true)
 	if !ok {
 		return false
 	}
-	if ga64.IsDevice(pa) {
-		m.Bus.Write(pa-ga64.DeviceBase, width, v)
+	if m.guest.IsDevice(pa) {
+		m.Bus.Write(pa-m.devBase, width, v)
 		return true
 	}
 	if pa+uint64(width) > uint64(len(m.Mem)) {
-		m.takeException(ga64.AbortEC(false, m.Sys.EL), ga64.AbortISS(true, true), va, m.PC())
+		m.raise(port.Exception{Kind: port.ExcDataAbort, Translation: true, Write: true, Addr: va, PC: m.curPC})
 		return false
 	}
 	switch width {
@@ -257,26 +335,26 @@ func (m *Machine) Intrinsic(id ssa.IntrID, args []uint64) (uint64, bool) {
 	}
 	switch id {
 	case ssa.IntrSysRead:
-		v, ok := m.Sys.ReadReg(args[0], m.Sys.EL, &m.hooks)
+		v, ok := m.sys.ReadReg(args[0], &m.hooks)
 		if !ok {
-			m.takeException(ga64.ECUndefined, 0, 0, m.PC())
+			m.raise(port.Exception{Kind: port.ExcUndefined, PC: m.curPC})
 			return 0, false
 		}
 		return v, true
 	case ssa.IntrSysWrite:
-		if !m.Sys.WriteReg(args[0], args[1], m.Sys.EL, &m.hooks) {
-			m.takeException(ga64.ECUndefined, 0, 0, m.PC())
+		if !m.sys.WriteReg(args[0], args[1], &m.hooks) {
+			m.raise(port.Exception{Kind: port.ExcUndefined, PC: m.curPC})
 			return 0, false
 		}
 		return 0, true
 	case ssa.IntrSVC:
-		m.takeException(ga64.ECSVC, uint32(args[0]), 0, m.PC()+4)
+		m.raise(port.Exception{Kind: port.ExcSyscall, Imm: uint32(args[0]), PC: m.curPC + 4})
 		return 0, false
 	case ssa.IntrBRK:
-		m.takeException(ga64.ECBRK, uint32(args[0]), 0, m.PC())
+		m.raise(port.Exception{Kind: port.ExcBreakpoint, Imm: uint32(args[0]), PC: m.curPC})
 		return 0, false
 	case ssa.IntrERet:
-		newPC, nzcv := m.Sys.ERet()
+		newPC, nzcv := m.sys.ERet(&m.hooks)
 		m.SetNZCV(nzcv)
 		m.pending.redirect = true
 		m.pending.pc = newPC
@@ -289,8 +367,8 @@ func (m *Machine) Intrinsic(id ssa.IntrID, args []uint64) (uint64, bool) {
 		m.ExitCode = args[0]
 		return 0, false
 	case ssa.IntrWFI:
-		// No interrupt sources are pending in the interpreter: treat as
-		// a halt to avoid spinning forever.
+		// No interrupt sources are pending in the interpreter: treat as a
+		// halt to avoid spinning forever.
 		m.Halted = true
 		m.ExitCode = 0
 		return 0, false
@@ -298,50 +376,79 @@ func (m *Machine) Intrinsic(id ssa.IntrID, args []uint64) (uint64, bool) {
 	return 0, true
 }
 
-// Step executes one guest instruction. It returns false when the machine
-// has halted.
+// scanBlock forms the basic block starting at the current PC with the
+// shared engine rules (port.ScanBlock after translating the fetch) and
+// charges its instruction count — the engines' instrumentation prologue. It
+// returns false when the fetch itself trapped (count unchanged, like the
+// engines' pre-translation abort or hUndef path).
+func (m *Machine) scanBlock() bool {
+	pc := m.PC()
+	w := m.sys.Walk(m.physRead64, pc)
+	if !w.OK {
+		m.raise(port.Exception{Kind: port.ExcInsnAbort, Translation: true, Addr: pc, PC: pc})
+		return false
+	}
+	if (m.sys.EL() == 0 && !w.User) || !w.Exec {
+		m.raise(port.Exception{Kind: port.ExcInsnAbort, Addr: pc, PC: pc})
+		return false
+	}
+	var undef bool
+	m.block, undef = port.ScanBlock(m.Module, m.fetchRead, w.PA, m.block[:0])
+	m.blockIdx = 0
+	if undef || len(m.block) == 0 {
+		m.raise(port.Exception{Kind: port.ExcUndefined, PC: pc})
+		return false
+	}
+	m.Instrs += uint64(len(m.block))
+	return true
+}
+
+// Step executes one guest instruction (entering a new block first when
+// needed). It returns false when the machine has halted.
 func (m *Machine) Step() (bool, error) {
 	if m.Halted {
 		return false, nil
 	}
-	pc := m.PC()
-	pa, ok := m.translate(pc, false, true)
-	if ok {
-		// EL0 instruction fetch also requires the user bit, which
-		// translate checked with write=false; fetch permission equals
-		// read permission in GA64.
-		if pa+4 > uint64(len(m.Mem)) || ga64.IsDevice(pa) {
-			m.takeException(ga64.AbortEC(true, m.Sys.EL), ga64.AbortISS(true, false), pc, pc)
-		} else {
-			word := binary.LittleEndian.Uint32(m.Mem[pa:])
-			d, okd := m.Module.Decode(uint64(word))
-			if !okd {
-				m.takeException(ga64.ECUndefined, 0, 0, pc)
-			} else {
-				m.Instrs++
-				m.wrotePC = false
+	if m.blockIdx >= len(m.block) {
+		if !m.scanBlock() {
+			if m.pending.redirect {
+				m.SetPC(m.pending.pc)
 				m.pending.redirect = false
-				oki, err := m.interp.Run(d.Info.Action, d.FieldsInto(m.fields), m)
-				if err != nil {
-					return false, fmt.Errorf("interp: at pc %#x (%s): %w", pc, d.Info.Name, err)
-				}
-				if oki && !m.wrotePC {
-					m.SetPC(pc + 4)
-				}
 			}
+			return !m.Halted, nil
 		}
 	}
-	if m.pending.redirect {
+	d := m.block[m.blockIdx]
+	pc := m.PC()
+	m.curPC = pc
+	m.wrotePC = false
+	m.pending.redirect = false
+	ok, err := m.interp.Run(d.Info.Action, d.FieldsInto(m.fields), m)
+	if err != nil {
+		return false, fmt.Errorf("interp: %s at pc %#x (%s): %w", m.Module.Arch, pc, d.Info.Name, err)
+	}
+	if ok && !m.wrotePC {
+		m.SetPC(pc + port.InstrBytes)
+	}
+	switch {
+	case m.pending.redirect:
 		m.SetPC(m.pending.pc)
 		m.pending.redirect = false
+		m.block = m.block[:0]
+		m.blockIdx = 0
+	case m.wrotePC:
+		m.block = m.block[:0]
+		m.blockIdx = 0
+	default:
+		m.blockIdx++
 	}
 	return !m.Halted, nil
 }
 
 // Run executes until halt or the step limit; it returns the number of
-// instructions executed. The limit counts steps rather than retired
-// instructions so that exception loops through undecodable memory still
-// terminate.
+// instructions retired during this call. The limit counts steps rather than
+// retired instructions so that exception loops through undecodable memory
+// still terminate.
 func (m *Machine) Run(limit uint64) (uint64, error) {
 	start := m.Instrs
 	for steps := uint64(0); steps < limit; steps++ {

@@ -10,7 +10,7 @@ import (
 
 func newMachine(t *testing.T) *Machine {
 	t.Helper()
-	return New(ga64.MustModule(), 1<<22) // 4 MiB RAM
+	return New(ga64.Port{}, ga64.MustModule(), 1<<22) // 4 MiB RAM
 }
 
 // runProgram assembles p, loads it at its org, and runs to halt.
@@ -313,7 +313,7 @@ func TestMMUEnableAndTranslate(t *testing.T) {
 	if m.Reg(2) != 0xABCD {
 		t.Errorf("load under MMU = %#x", m.Reg(2))
 	}
-	if !m.Sys.MMUOn() {
+	if !m.Sys().MMUOn() {
 		t.Error("MMU should be enabled")
 	}
 }
