@@ -13,6 +13,15 @@
 //	bench -sec 3.4     # JIT statistics
 //	bench -sec 3.6.1   # offline optimization levels
 //	bench -sec 3.6.2   # hardware vs software floating point
+//
+// The guest-MIPS harness measures host wall-clock throughput (the axis
+// perf PRs optimize; everything above reports simulated time, the axis
+// perf PRs must not move) and writes a JSON report:
+//
+//	bench -json BENCH_5.json                   # full engine x guest x workload matrix
+//	bench -json out.json -mips-short           # CI smoke subset
+//	bench -json out.json -baseline before.json # attach baseline, compute speedups,
+//	                                           # fail if the sim-cycle model moved
 package main
 
 import (
@@ -28,14 +37,42 @@ func main() {
 	fig := flag.Int("fig", 0, "figure number to regenerate (17, 18, 19, 20, 21, 22)")
 	table := flag.Int("table", 0, "table number to regenerate (2, 5)")
 	sec := flag.String("sec", "", "section to regenerate (3.4, 3.6.1, 3.6.2)")
+	jsonPath := flag.String("json", "", "run the guest-MIPS wall-clock harness and write the report to this path")
+	baseline := flag.String("baseline", "", "baseline guest-MIPS report to compute speedups against (requires -json)")
+	mipsShort := flag.Bool("mips-short", false, "guest-MIPS harness: short workload subset (CI smoke)")
 	flag.Parse()
 
-	all := *fig == 0 && *table == 0 && *sec == ""
 	opt := bench.Options{}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
+
+	if *jsonPath == "" && (*baseline != "" || *mipsShort) {
+		fail(fmt.Errorf("-baseline and -mips-short select guest-MIPS harness options and require -json"))
+	}
+	if *jsonPath != "" {
+		rep, err := bench.GuestMIPS(*mipsShort)
+		if err != nil {
+			fail(err)
+		}
+		if *baseline != "" {
+			base, err := bench.ReadMIPSReport(*baseline)
+			if err != nil {
+				fail(err)
+			}
+			if err := rep.MergeBaseline(base); err != nil {
+				fail(err)
+			}
+		}
+		if err := rep.WriteJSON(*jsonPath); err != nil {
+			fail(err)
+		}
+		fmt.Print(rep.String())
+		return
+	}
+
+	all := *fig == 0 && *table == 0 && *sec == ""
 	show := func(t perf.Table, err error) {
 		if err != nil {
 			fail(err)

@@ -105,11 +105,27 @@ type Engine struct {
 
 	curMode uint64 // 0 = low half, 1 = high half
 
-	iTLB map[uint64]itlbEntry // vaPage -> translation
+	// iTLB caches fetch translations between guest TLB flushes. The hot
+	// path is a direct-mapped array probe (mirroring vx64.CPU.tlb); the
+	// overflow map keeps entries whose pages collide in the array, so the
+	// cache never forgets a translation between flushes — eviction would
+	// re-walk and re-charge guest-walk cycles, changing the timing model.
+	// The map is only consulted (and only allocated) on an array miss.
+	iTLB     [itlbSize]itlbEntry
+	iTLBOver map[uint64]itlbEntry
 
-	exitByPA   map[uint64]exitRef
+	// exitByPA resolves a dispatch-TRAP physical address to the block exit
+	// it belongs to: an offset-indexed slice over the code region (1+index
+	// into exitArena; 0 = none), replacing a map probe on every dispatch
+	// loop. exitOffs records the registered offsets so flushTranslations
+	// resets only those slots instead of memclearing the whole region
+	// (the QEMU baseline flushes on every guest translation change).
+	exitByPA   []int32
+	exitArena  []exitRef
+	exitOffs   []uint64
 	allChained []exitRef
-	lastExit   *exitRef
+	lastExit   exitRef
+	lastExitOK bool
 
 	halted   bool
 	exitCode uint64
@@ -126,7 +142,12 @@ type Engine struct {
 	Stats Stats
 }
 
+// itlbSize is the direct-mapped iTLB's entry count; fetch pages 16 MiB
+// apart collide and overflow to the map.
+const itlbSize = 4096
+
 type itlbEntry struct {
+	vaPage  uint64 // tag; ^0 when invalid
 	gpaPage uint64
 	user    bool
 }
@@ -146,9 +167,9 @@ func New(vm *hvm.VM, g port.Port, module *gen.Module) (*Engine, error) {
 	}
 	e := &Engine{
 		vm: vm, cpu: vm.CPU, module: module, guest: g, sys: g.NewSys(),
-		iTLB:     make(map[uint64]itlbEntry),
-		exitByPA: make(map[uint64]exitRef),
+		exitByPA: make([]int32, vm.Layout.CodeSize),
 	}
+	e.clearITLB()
 	l := vm.Layout
 	e.mmu = newHostMMU(vm.Phys, vm.CPU, l.PTPoolPA, l.PTPoolSize)
 	e.cache = newCodeCache(vm.Phys, vm.CPU, l.CodePA, l.CodeSize)
@@ -266,7 +287,7 @@ func (e *Engine) raise(ex port.Exception) {
 // physical address (§2.6) — only the chain links are reset.
 func (e *Engine) translationChanged() {
 	e.Stats.TransFlushes++
-	clear(e.iTLB)
+	e.clearITLB()
 	if e.Kind == BackendQEMU {
 		// The baseline's translations are virtually indexed: everything
 		// goes — code cache and softmmu TLB (§2.6's contrast).
@@ -283,18 +304,41 @@ func (e *Engine) translationChanged() {
 	e.allChained = e.allChained[:0]
 }
 
+// clearITLB invalidates the fetch-translation cache (array and overflow).
+func (e *Engine) clearITLB() {
+	for i := range e.iTLB {
+		e.iTLB[i].vaPage = ^uint64(0)
+	}
+	clear(e.iTLBOver)
+}
+
 // translatePC resolves the guest PC to a physical address for block lookup,
 // injecting an instruction abort on failure. The Go-side iTLB caches
-// fetch translations between guest TLB flushes.
+// fetch translations between guest TLB flushes: a direct-mapped array probe
+// on the hot path, with colliding pages kept exactly in the overflow map.
 func (e *Engine) translatePC(pc uint64) (uint64, bool) {
 	vaPage := pc >> 12
-	if ent, ok := e.iTLB[vaPage]; ok {
-		if e.sys.EL() == 0 && !ent.user {
-			e.raise(port.Exception{Kind: port.ExcInsnAbort, Addr: pc, PC: pc})
-			return 0, false
+	ent := &e.iTLB[vaPage&(itlbSize-1)]
+	if ent.vaPage != vaPage {
+		if over, ok := e.iTLBOver[vaPage]; ok {
+			ent = &over
+		} else {
+			return e.translatePCSlow(pc)
 		}
-		return ent.gpaPage<<12 | pc&0xFFF, true
 	}
+	if e.sys.EL() == 0 && !ent.user {
+		e.raise(port.Exception{Kind: port.ExcInsnAbort, Addr: pc, PC: pc})
+		return 0, false
+	}
+	return ent.gpaPage<<12 | pc&0xFFF, true
+}
+
+// translatePCSlow walks the guest page tables on an iTLB miss and fills the
+// cache. The direct-mapped slot is preferred; a conflicting resident page
+// is demoted to the overflow map so no translation is ever forgotten
+// between flushes (a re-walk would re-charge walk cycles).
+func (e *Engine) translatePCSlow(pc uint64) (uint64, bool) {
+	vaPage := pc >> 12
 	w := e.guestWalk(pc)
 	if !w.OK {
 		e.raise(port.Exception{Kind: port.ExcInsnAbort, Translation: true, Addr: pc, PC: pc})
@@ -304,7 +348,14 @@ func (e *Engine) translatePC(pc uint64) (uint64, bool) {
 		e.raise(port.Exception{Kind: port.ExcInsnAbort, Addr: pc, PC: pc})
 		return 0, false
 	}
-	e.iTLB[vaPage] = itlbEntry{gpaPage: w.PA >> 12, user: w.User}
+	slot := &e.iTLB[vaPage&(itlbSize-1)]
+	if slot.vaPage != ^uint64(0) && slot.vaPage != vaPage {
+		if e.iTLBOver == nil {
+			e.iTLBOver = make(map[uint64]itlbEntry)
+		}
+		e.iTLBOver[slot.vaPage] = *slot
+	}
+	*slot = itlbEntry{vaPage: vaPage, gpaPage: w.PA >> 12, user: w.User}
 	return w.PA&^uint64(0xFFF) | pc&0xFFF, true
 }
 
@@ -355,19 +406,19 @@ func (e *Engine) Run(budget uint64) error {
 		}
 		// Chain the previous block's exit to this one (§2.6): install a
 		// PC-compare slot so the transition bypasses the dispatcher.
-		if e.lastExit != nil && !e.ChainingOff {
+		if e.lastExitOK && !e.ChainingOff {
 			le := e.lastExit
 			// The baseline only chains direct-branch exits (TCG's goto_tb);
 			// indirect control flow re-enters its dispatcher every time.
 			if le.blk.Valid && le.blk.EL == el &&
 				(e.Kind != BackendQEMU || le.blk.DirectExit) {
 				if e.cache.chain(le.blk, le.idx, blk, pc) {
-					e.allChained = append(e.allChained, *le)
+					e.allChained = append(e.allChained, le)
 					e.Stats.BlockChains++
 				}
 			}
 		}
-		e.lastExit = nil
+		e.lastExitOK = false
 
 		before := e.cpu.Stats.Cycles
 		if err := e.execute(blk, pc, el, limit); err != nil {
@@ -412,8 +463,11 @@ func (e *Engine) execute(blk *Block, pc uint64, el uint8, limit uint64) error {
 			if trap.Vec == dispatchTrapVec {
 				// Normal exit to dispatcher.
 				e.SetPC(cpu.R[vx64.RPC])
-				if ref, ok := e.exitByPA[e.trapPA(trap)]; ok {
-					e.lastExit = &ref
+				if off := e.trapPA(trap) - e.vm.Layout.CodePA; off < uint64(len(e.exitByPA)) {
+					if id := e.exitByPA[off]; id != 0 {
+						e.lastExit = e.exitArena[id-1]
+						e.lastExitOK = true
+					}
 				}
 				return nil
 			}

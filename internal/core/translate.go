@@ -114,7 +114,11 @@ func (e *Engine) translateBlock(pc, gpa uint64, el uint8) (*Block, error) {
 	exit := Exit{EpiPA: pa + uint64(labels[epi.id])}
 	blk.Exits = append(blk.Exits, exit)
 	for _, tp := range blk.Exits[0].trapOffsets() {
-		e.exitByPA[tp] = exitRef{blk: blk, idx: 0}
+		if off := tp - e.vm.Layout.CodePA; off < uint64(len(e.exitByPA)) {
+			e.exitArena = append(e.exitArena, exitRef{blk: blk, idx: 0})
+			e.exitOffs = append(e.exitOffs, off)
+			e.exitByPA[off] = int32(len(e.exitArena))
+		}
 	}
 	e.cache.insert(blk)
 
@@ -146,9 +150,13 @@ func (e *Engine) translateBlock(pc, gpa uint64, el uint8) (*Block, error) {
 // into it.
 func (e *Engine) flushTranslations() {
 	e.cache.flushAll()
-	e.exitByPA = make(map[uint64]exitRef)
+	for _, off := range e.exitOffs {
+		e.exitByPA[off] = 0
+	}
+	e.exitOffs = e.exitOffs[:0]
+	e.exitArena = e.exitArena[:0]
 	e.allChained = e.allChained[:0]
-	e.lastExit = nil
+	e.lastExitOK = false
 	e.JIT.CacheFlushes++
 	// Protections become stale (no code pages remain).
 	e.mmu.protected = make(map[uint64]bool)

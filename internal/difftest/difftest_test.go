@@ -2,6 +2,7 @@ package difftest
 
 import (
 	"encoding/binary"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -23,19 +24,21 @@ func TestCorpus(t *testing.T) {
 // TestSweep runs the full differential sweep: 500 fresh seeded programs
 // through the interpreter, the Captive DBT at O1–O4 and the QEMU baseline,
 // asserting bit-identical register files, flags, memory and instruction
-// counts. Under -short a 50-seed subset runs.
+// counts. Under -short a 50-seed subset runs. Seeds are sharded across
+// parallel subtests (per-seed engines, deterministic per seed).
 func TestSweep(t *testing.T) {
 	n := 500
 	if testing.Short() {
 		n = 50
 	}
-	for i := 0; i < n; i++ {
+	sweepShards(t, n, func(i int) error {
 		seed := int64(1_000_000 + i)
 		ops := 40 + (i%5)*30
 		if err := Check(seed, ops); err != nil {
-			t.Fatalf("sweep seed %d (ops %d):\n%v", seed, ops, err)
+			return fmt.Errorf("sweep seed %d (ops %d):\n%w", seed, ops, err)
 		}
-	}
+		return nil
+	})
 }
 
 // TestGenerateDeterministic pins generation to the seed: the same seed must

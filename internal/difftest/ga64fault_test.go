@@ -28,13 +28,9 @@ func TestMMUFaultSweep(t *testing.T) {
 	if testing.Short() {
 		seeds = 50
 	}
-	for i := 0; i < seeds; i++ {
-		seed := base + int64(i)
-		ops := 40 + i%5*40
-		if err := CheckMMUFault(seed, ops); err != nil {
-			t.Fatal(err)
-		}
-	}
+	sweepShards(t, seeds, func(i int) error {
+		return CheckMMUFault(base+int64(i), 40+i%5*40)
+	})
 }
 
 // TestMMUFaultGenerateDeterministic pins generator determinism.

@@ -19,13 +19,9 @@ func TestMMUSweep(t *testing.T) {
 	if testing.Short() {
 		seeds = 15
 	}
-	for i := 0; i < seeds; i++ {
-		seed := base + int64(i)
-		ops := 40 + i%5*40
-		if err := CheckMMU(seed, ops); err != nil {
-			t.Fatal(err)
-		}
-	}
+	sweepShards(t, seeds, func(i int) error {
+		return CheckMMU(base+int64(i), 40+i%5*40)
+	})
 }
 
 // TestMMUGenerateDeterministic pins generator determinism.

@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"fmt"
 	"math/bits"
 	"testing"
 
@@ -28,13 +29,14 @@ func TestRV64Sweep(t *testing.T) {
 	if testing.Short() {
 		n = 30
 	}
-	for i := 0; i < n; i++ {
+	sweepShards(t, n, func(i int) error {
 		seed := int64(2_000_000 + i)
 		ops := 40 + (i%5)*30
 		if err := CheckRV64(seed, ops); err != nil {
-			t.Fatalf("rv64 sweep seed %d (ops %d):\n%v", seed, ops, err)
+			return fmt.Errorf("rv64 sweep seed %d (ops %d):\n%w", seed, ops, err)
 		}
-	}
+		return nil
+	})
 }
 
 // TestRV64GenerateDeterministic pins generation to the seed.

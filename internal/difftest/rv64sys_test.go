@@ -26,13 +26,9 @@ func TestRV64SysSweep(t *testing.T) {
 	if testing.Short() {
 		seeds = 25
 	}
-	for i := 0; i < seeds; i++ {
-		seed := base + int64(i)
-		ops := 40 + i%5*40
-		if err := CheckRV64Sys(seed, ops); err != nil {
-			t.Fatal(err)
-		}
-	}
+	sweepShards(t, seeds, func(i int) error {
+		return CheckRV64Sys(base+int64(i), 40+i%5*40)
+	})
 }
 
 // TestRV64SysGenerateDeterministic pins generator determinism (the corpus

@@ -28,13 +28,9 @@ func TestSMCSweep(t *testing.T) {
 	if testing.Short() {
 		seeds = 15
 	}
-	for i := 0; i < seeds; i++ {
-		seed := base + int64(i)
-		ops := 40 + i%5*40
-		if err := CheckSMC(seed, ops); err != nil {
-			t.Fatal(err)
-		}
-	}
+	sweepShards(t, seeds, func(i int) error {
+		return CheckSMC(base+int64(i), 40+i%5*40)
+	})
 }
 
 // TestSMCGenerateDeterministic pins generator determinism.

@@ -223,6 +223,22 @@ type CPU struct {
 	fetchPAPage uint64
 	fetchOK     bool
 	fetchCPL    uint8
+
+	// trap is the pending trap recorded by execOp when it returns false —
+	// a field rather than a return value so the hot dispatch loops never
+	// copy the (large) Trap struct on the no-trap path.
+	trap Trap
+
+	// Superblock execution state (superblock.go): a direct-mapped cache of
+	// predecoded straight-line runs keyed by code-region offset, and a
+	// per-page generation counter bumped by InvalidateCode so stale
+	// superblocks are rebuilt on next entry.
+	sbTab     []sbSlot
+	sbPageGen []uint32
+	// Reusable decode buffers for buildSuperblock, so cached runs hold
+	// exact-length slices.
+	sbScratch     []Inst
+	sbScratchLens []uint8
 }
 
 // NewCPU creates a CPU over the given physical memory.
@@ -233,24 +249,37 @@ func NewCPU(phys PhysMem) *CPU {
 }
 
 // SetCodeRegion declares [lo, hi) of physical memory as the generated-code
-// region and enables the decode cache over it.
+// region and enables the decode cache and superblock execution over it.
 func (c *CPU) SetCodeRegion(lo, hi uint64) {
 	c.CodeLo, c.CodeHi = lo, hi
 	c.codeIdx = make([]int32, hi-lo)
 	c.codeArena = c.codeArena[:0]
 	c.codeLens = c.codeLens[:0]
+	c.sbTab = make([]sbSlot, sbTableSize)
+	c.sbPageGen = make([]uint32, (hi-lo+PageSize-1)/PageSize)
 }
 
-// InvalidateCode drops cached decodes for [pa, pa+n); the engines call this
-// after patching or overwriting generated code.
+// InvalidateCode drops cached decodes and superblocks for [pa, pa+n); the
+// engines call this after patching or overwriting generated code (chain
+// patch/unpatch, SMC page invalidation, block installation). This is the
+// coherence contract of the decode and superblock caches: code-region
+// bytes changed by any other means are stale until it is called.
 func (c *CPU) InvalidateCode(pa, n uint64) {
 	if c.codeIdx == nil || pa >= c.CodeHi || pa+n <= c.CodeLo {
 		return
 	}
 	lo := max(pa, c.CodeLo) - c.CodeLo
 	hi := min(pa+n, c.CodeHi) - c.CodeLo
+	if hi <= lo {
+		return
+	}
 	for i := lo; i < hi; i++ {
 		c.codeIdx[i] = 0
+	}
+	// Superblocks are invalidated lazily: bump the generation of every
+	// covered page; runSuperblock rebuilds on generation mismatch.
+	for p := lo >> PageShift; p <= (hi-1)>>PageShift; p++ {
+		c.sbPageGen[p]++
 	}
 	c.fetchOK = false
 }
@@ -437,18 +466,11 @@ func (c *CPU) fetchInst() (*Inst, int, *fault) {
 	}
 	pa := c.fetchPAPage<<PageShift | va&PageMask
 	if pa >= c.CodeLo && pa < c.CodeHi && c.codeIdx != nil {
-		off := pa - c.CodeLo
-		if id := c.codeIdx[off]; id != 0 {
-			return &c.codeArena[id-1], int(c.codeLens[id-1]), nil
-		}
-		inst, n, err := Decode(c.Phys, int(pa))
-		if err != nil {
+		inst, n, ok := c.decodeCached(pa)
+		if !ok {
 			return nil, 0, &fault{addr: va, access: AccessExec, bus: true}
 		}
-		c.codeArena = append(c.codeArena, inst)
-		c.codeLens = append(c.codeLens, uint8(n))
-		c.codeIdx[off] = int32(len(c.codeArena))
-		return &c.codeArena[len(c.codeArena)-1], n, nil
+		return inst, n, nil
 	}
 	inst, n, err := Decode(c.Phys, int(pa))
 	if err != nil {
@@ -457,6 +479,23 @@ func (c *CPU) fetchInst() (*Inst, int, *fault) {
 	// Slow path outside the code region: return a copy.
 	tmp := inst
 	return &tmp, n, nil
+}
+
+// decodeCached returns the decoded instruction at code-region physical
+// address pa through the decode cache, filling it on miss.
+func (c *CPU) decodeCached(pa uint64) (*Inst, int, bool) {
+	off := pa - c.CodeLo
+	if id := c.codeIdx[off]; id != 0 {
+		return &c.codeArena[id-1], int(c.codeLens[id-1]), true
+	}
+	inst, n, err := Decode(c.Phys, int(pa))
+	if err != nil {
+		return nil, 0, false
+	}
+	c.codeArena = append(c.codeArena, inst)
+	c.codeLens = append(c.codeLens, uint8(n))
+	c.codeIdx[off] = int32(len(c.codeArena))
+	return &c.codeArena[len(c.codeArena)-1], n, true
 }
 
 func (c *CPU) setZS(v uint64) {
@@ -504,9 +543,24 @@ func (c *CPU) pageFault(f *fault, inst *Inst, next uint64) Trap {
 
 // Run executes instructions until a trap occurs or cycleBudget deci-cycles
 // have been consumed (measured from the current Stats.Cycles).
+//
+// Inside the declared code region, fetches through the direct map execute
+// as superblocks (superblock.go): predecoded straight-line runs dispatched
+// without the per-instruction fetch-translation check, decode-cache probe
+// and budget comparison. The architectural outcome — registers, memory,
+// Stats.Insts, Stats.Cycles, trap points — is bit-identical to stepping.
 func (c *CPU) Run(cycleBudget uint64) Trap {
 	limit := c.Stats.Cycles + cycleBudget
 	for c.Stats.Cycles < limit {
+		if c.DirectBase != 0 && c.RIP >= c.DirectBase {
+			if pa := c.RIP - c.DirectBase; pa >= c.CodeLo && pa < c.CodeHi && c.sbTab != nil {
+				t, stop := c.runSuperblock(pa-c.CodeLo, limit)
+				if stop {
+					return t
+				}
+				continue
+			}
+		}
 		t := c.Step()
 		if t.Kind != TrapNone {
 			return t
@@ -525,7 +579,20 @@ func (c *CPU) Step() Trap {
 	next := c.RIP + uint64(n)
 	c.Stats.Insts++
 	c.Stats.Cycles += opCost[inst.Op]
+	if !c.execOp(inst, next) {
+		return c.trap
+	}
+	return Trap{}
+}
 
+// execOp executes one decoded instruction whose fall-through successor is
+// next. It returns true when execution can continue (c.RIP updated by the
+// instruction), or false with the trap recorded in c.trap — kept out of the
+// return path because Trap is a large struct and this is the hottest
+// function in the simulator. Instruction accounting (Stats.Insts and the
+// opCost charge) is the caller's job, so Step and the superblock loop
+// retire identically.
+func (c *CPU) execOp(inst *Inst, next uint64) bool {
 	R := &c.R
 	switch inst.Op {
 	case NOP:
@@ -537,7 +604,8 @@ func (c *CPU) Step() Trap {
 		size, sign := loadWidth(inst.Op)
 		v, f := c.memRead(c.ea(inst.M), size)
 		if f != nil {
-			return c.pageFault(f, inst, next)
+			c.trap = c.pageFault(f, inst, next)
+			return false
 		}
 		if sign {
 			v = signExtend(v, size)
@@ -546,7 +614,8 @@ func (c *CPU) Step() Trap {
 	case STORE8, STORE16, STORE32, STORE64:
 		size := storeWidth(inst.Op)
 		if f := c.memWrite(c.ea(inst.M), size, R[inst.Rs]); f != nil {
-			return c.pageFault(f, inst, next)
+			c.trap = c.pageFault(f, inst, next)
+			return false
 		}
 	case LEA:
 		R[inst.Rd] = c.ea(inst.M)
@@ -592,27 +661,31 @@ func (c *CPU) Step() Trap {
 	case UDIVrr:
 		d := R[inst.Rs]
 		if d == 0 {
-			return Trap{Kind: TrapDivide, RIP: c.RIP, NextRIP: next}
+			c.trap = Trap{Kind: TrapDivide, RIP: c.RIP, NextRIP: next}
+			return false
 		}
 		R[inst.Rd] /= d
 	case SDIVrr:
 		d := int64(R[inst.Rs])
 		a := int64(R[inst.Rd])
 		if d == 0 || (a == -1<<63 && d == -1) {
-			return Trap{Kind: TrapDivide, RIP: c.RIP, NextRIP: next}
+			c.trap = Trap{Kind: TrapDivide, RIP: c.RIP, NextRIP: next}
+			return false
 		}
 		R[inst.Rd] = uint64(a / d)
 	case UREMrr:
 		d := R[inst.Rs]
 		if d == 0 {
-			return Trap{Kind: TrapDivide, RIP: c.RIP, NextRIP: next}
+			c.trap = Trap{Kind: TrapDivide, RIP: c.RIP, NextRIP: next}
+			return false
 		}
 		R[inst.Rd] %= d
 	case SREMrr:
 		d := int64(R[inst.Rs])
 		a := int64(R[inst.Rd])
 		if d == 0 || (a == -1<<63 && d == -1) {
-			return Trap{Kind: TrapDivide, RIP: c.RIP, NextRIP: next}
+			c.trap = Trap{Kind: TrapDivide, RIP: c.RIP, NextRIP: next}
+			return false
 		}
 		R[inst.Rd] = uint64(a % d)
 	case NEGr:
@@ -664,7 +737,8 @@ func (c *CPU) Step() Trap {
 	case CALL, CALLR:
 		sp := R[RSP] - 8
 		if f := c.memWrite(sp, 8, next); f != nil {
-			return c.pageFault(f, inst, next)
+			c.trap = c.pageFault(f, inst, next)
+			return false
 		}
 		R[RSP] = sp
 		if inst.Op == CALL {
@@ -675,42 +749,51 @@ func (c *CPU) Step() Trap {
 	case RET:
 		v, f := c.memRead(R[RSP], 8)
 		if f != nil {
-			return c.pageFault(f, inst, next)
+			c.trap = c.pageFault(f, inst, next)
+			return false
 		}
 		R[RSP] += 8
 		next = v
 	case HELPER:
 		id := int(inst.Imm)
 		if id >= len(c.Helpers) || c.Helpers[id] == nil {
-			return Trap{Kind: TrapInvalidOp, RIP: c.RIP, NextRIP: next}
+			c.trap = Trap{Kind: TrapInvalidOp, RIP: c.RIP, NextRIP: next}
+			return false
 		}
 		c.Stats.Helpers++
 		c.RIP = next // helpers observe the post-call RIP
 		if c.Helpers[id](c) == HelperExit {
-			return Trap{Kind: TrapHelperExit, RIP: c.RIP, NextRIP: next, Code: c.R[R0]}
+			c.trap = Trap{Kind: TrapHelperExit, RIP: c.RIP, NextRIP: next, Code: c.R[R0]}
+			return false
 		}
 		next = c.RIP // a helper may redirect control
 	case TRAP:
 		c.Stats.Traps++
 		c.RIP = next
-		return Trap{Kind: TrapSoft, Vec: uint8(inst.Imm), RIP: c.RIP, NextRIP: next}
+		c.trap = Trap{Kind: TrapSoft, Vec: uint8(inst.Imm), RIP: c.RIP, NextRIP: next}
+		return false
 	case SYSCALL:
 		c.Stats.Traps++
 		c.RIP = next
-		return Trap{Kind: TrapSyscall, RIP: c.RIP, NextRIP: next}
+		c.trap = Trap{Kind: TrapSyscall, RIP: c.RIP, NextRIP: next}
+		return false
 	case SYSRET:
 		c.RIP = next
-		return Trap{Kind: TrapGP, RIP: c.RIP, NextRIP: next}
+		c.trap = Trap{Kind: TrapGP, RIP: c.RIP, NextRIP: next}
+		return false
 	case HLT:
 		c.RIP = next
-		return Trap{Kind: TrapHlt, RIP: c.RIP, NextRIP: next}
+		c.trap = Trap{Kind: TrapHlt, RIP: c.RIP, NextRIP: next}
+		return false
 	case INport, OUTport:
 		// Port I/O always exits to the hypervisor (KVM-style).
 		c.RIP = next
-		return Trap{Kind: TrapSoft, Vec: 0xFE, RIP: c.RIP, NextRIP: next, Inst: *inst}
+		c.trap = Trap{Kind: TrapSoft, Vec: 0xFE, RIP: c.RIP, NextRIP: next, Inst: *inst}
+		return false
 	case WRCR3:
 		if c.CPL != 0 {
-			return Trap{Kind: TrapGP, RIP: c.RIP, NextRIP: next}
+			c.trap = Trap{Kind: TrapGP, RIP: c.RIP, NextRIP: next}
+			return false
 		}
 		v := R[inst.Rd]
 		newPCID := uint16(v & pcidMask)
@@ -724,28 +807,33 @@ func (c *CPU) Step() Trap {
 		c.fetchOK = false
 	case RDCR3:
 		if c.CPL != 0 {
-			return Trap{Kind: TrapGP, RIP: c.RIP, NextRIP: next}
+			c.trap = Trap{Kind: TrapGP, RIP: c.RIP, NextRIP: next}
+			return false
 		}
 		R[inst.Rd] = c.CR3
 	case INVLPG:
 		if c.CPL != 0 {
-			return Trap{Kind: TrapGP, RIP: c.RIP, NextRIP: next}
+			c.trap = Trap{Kind: TrapGP, RIP: c.RIP, NextRIP: next}
+			return false
 		}
 		c.Invlpg(R[inst.Rd])
 	case TLBFLUSHALL:
 		if c.CPL != 0 {
-			return Trap{Kind: TrapGP, RIP: c.RIP, NextRIP: next}
+			c.trap = Trap{Kind: TrapGP, RIP: c.RIP, NextRIP: next}
+			return false
 		}
 		c.FlushTLB()
 	case FLD:
 		v, f := c.memRead(c.ea(inst.M), 8)
 		if f != nil {
-			return c.pageFault(f, inst, next)
+			c.trap = c.pageFault(f, inst, next)
+			return false
 		}
 		c.X[inst.Rd] = v
 	case FST:
 		if f := c.memWrite(c.ea(inst.M), 8, c.X[inst.Rs]); f != nil {
-			return c.pageFault(f, inst, next)
+			c.trap = c.pageFault(f, inst, next)
+			return false
 		}
 	case FMOVxr:
 		c.X[inst.Rd] = R[inst.Rs]
@@ -792,10 +880,11 @@ func (c *CPU) Step() Trap {
 	case CVTSD2UI:
 		R[inst.Rd] = softfloat.F64ToU64(c.X[inst.Rs])
 	default:
-		return Trap{Kind: TrapInvalidOp, RIP: c.RIP, NextRIP: next}
+		c.trap = Trap{Kind: TrapInvalidOp, RIP: c.RIP, NextRIP: next}
+		return false
 	}
 	c.RIP = next
-	return Trap{}
+	return true
 }
 
 func loadWidth(op Op) (size uint8, sign bool) {
