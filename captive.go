@@ -252,10 +252,35 @@ func BuildMiniOSImage(user *asm.Program) (kernel, userImg []byte, entry, userPA 
 	return img.Kernel, img.User, img.Entry, img.UserPA, nil
 }
 
+// MiniOSImage is a loadable preemptive mini-OS image: the scheduler kernel
+// plus two user tasks.
+type MiniOSImage struct {
+	Kernel, Task0, Task1    []byte
+	Entry, Task0PA, Task1PA uint64
+}
+
+// BuildMiniOSPreemptiveImage pairs the mini-OS preemptive kernel with two
+// user tasks (assembled at MiniOSUserBase and MiniOSUser2Base). The kernel
+// arms the platform timer for `slice` virtual cycles and round-robins the
+// tasks on every timer interrupt; because interrupt injection is pinned to
+// virtual time, the interleaving is identical on every engine.
+func BuildMiniOSPreemptiveImage(task0, task1 *asm.Program, slice uint64) (MiniOSImage, error) {
+	img, err := bench.BuildPreemptiveImage(task0, task1, slice)
+	if err != nil {
+		return MiniOSImage{}, err
+	}
+	return MiniOSImage{
+		Kernel: img.Kernel, Task0: img.User, Task1: img.User2,
+		Entry: img.Entry, Task0PA: img.UserPA, Task1PA: img.User2PA,
+	}, nil
+}
+
 // Mini-OS ABI re-exports.
 const (
 	MiniOSUserBase   = bench.UserBase
+	MiniOSUser2Base  = bench.User2Base
 	MiniOSSysExit    = bench.SysExit
 	MiniOSSysPutchar = bench.SysPutchar
 	MiniOSSysCycles  = bench.SysCycles
+	MiniOSSysYield   = bench.SysYield
 )

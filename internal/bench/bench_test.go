@@ -1,7 +1,11 @@
 package bench
 
 import (
+	"strings"
 	"testing"
+
+	"captive/internal/guest/ga64"
+	"captive/internal/guest/ga64/asm"
 )
 
 // TestMiniOSBoot boots the mini-OS with a trivial user program that prints
@@ -36,6 +40,66 @@ func TestMiniOSBoot(t *testing.T) {
 			// X0 is preserved — the harness records the hlt immediate.
 			// Accept either convention as long as X0 was 42 at exit.
 			_ = res
+		}
+	}
+}
+
+// TestPreemptiveScheduler boots the preemptive mini-OS with two chatty tasks
+// on all three engines and requires the timer-driven interleaving — console
+// bytes and retired instruction counts — to be identical everywhere:
+// preemption points are a function of virtual time only.
+func TestPreemptiveScheduler(t *testing.T) {
+	chatter := func(p *asm.Program, ch byte, reps int) {
+		if reps > 0 {
+			p.MovI(20, uint64(reps))
+		}
+		p.Label("loop")
+		p.MovI(0, uint64(ch))
+		p.Svc(SysPutchar)
+		p.MovI(21, 100)
+		p.Label("delay")
+		p.SubsI(21, 21, 1)
+		p.BCond(ga64.CondNE, "delay")
+		if reps > 0 {
+			p.SubsI(20, 20, 1)
+			p.BCond(ga64.CondNE, "loop")
+			p.MovI(1, 0xD00D) // checksum register
+			p.MovI(0, 9)
+			p.Svc(SysExit)
+		} else {
+			p.B("loop")
+		}
+	}
+	t0 := UserProgram()
+	chatter(t0, 'A', 30)
+	t1 := User2Program()
+	chatter(t1, 'b', 0)
+	img, err := BuildPreemptiveImage(t0, t1, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref Result
+	for i, kind := range []EngineKind{EngineInterp, EngineCaptive, EngineQEMU} {
+		res, err := RunImage(kind, img, "preempt", Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !strings.Contains(res.Console, "Ab") && !strings.Contains(res.Console, "bA") {
+			t.Errorf("%v: no task interleaving in console %q", kind, res.Console)
+		}
+		if res.Checksum != 0xD00D {
+			t.Errorf("%v: checksum = %#x, task 0 never exited", kind, res.Checksum)
+		}
+		if i == 0 {
+			ref = res
+			t.Logf("interleaving: %q (%d instrs)", res.Console, res.GuestInstrs)
+			continue
+		}
+		if res.Console != ref.Console {
+			t.Errorf("%v: console %q diverges from interp %q", kind, res.Console, ref.Console)
+		}
+		if res.GuestInstrs != ref.GuestInstrs {
+			t.Errorf("%v: retired %d instrs, interp retired %d", kind, res.GuestInstrs, ref.GuestInstrs)
 		}
 	}
 }

@@ -114,6 +114,9 @@ func RunImage(kind EngineKind, img Image, name string, opt Options) (Result, err
 		if img.User != nil {
 			copy(m.Mem[img.UserPA:], img.User)
 		}
+		if img.User2 != nil {
+			copy(m.Mem[img.User2PA:], img.User2)
+		}
 		if _, err := m.Run(2_000_000_000); err != nil {
 			return res, fmt.Errorf("bench %s/interp: %w", name, err)
 		}
@@ -133,6 +136,11 @@ func RunImage(kind EngineKind, img Image, name string, opt Options) (Result, err
 	}
 	if img.User != nil {
 		if err := e.LoadUser(img.User, img.UserPA); err != nil {
+			return res, err
+		}
+	}
+	if img.User2 != nil {
+		if err := e.LoadUser(img.User2, img.User2PA); err != nil {
 			return res, err
 		}
 	}

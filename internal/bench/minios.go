@@ -9,6 +9,7 @@ package bench
 import (
 	"fmt"
 
+	"captive/internal/device"
 	"captive/internal/guest/ga64"
 	"captive/internal/guest/ga64/asm"
 )
@@ -34,6 +35,25 @@ const (
 	SysYield   = 3 // no-op
 )
 
+// Preemptive-scheduler memory layout (BuildKernelPreemptive only). All of it
+// sits inside the low-16 MiB identity map, so both the low and the high-half
+// aliases reach it.
+const (
+	User2Base  = 0x500000 // second task's load PA / VA
+	User2Stack = 0x7E0000 // second task's stack top
+	TaskCB0    = 0x1F4000 // task 0 control block
+	TaskCB1    = 0x1F4200 // task 1 control block (TaskCB0 + 1<<tcbShift)
+	CurTaskVar = 0x1F4400 // index of the running task (0 or 1)
+)
+
+// Task control block: 34 8-byte slots — 0..30 = x0..x30, then SP, ELR, SPSR.
+const (
+	tcbShift = 9 // TCB stride as a shift (0x200 bytes)
+	tcbSP    = 31 * 8
+	tcbELR   = 32 * 8
+	tcbSPSR  = 33 * 8
+)
+
 // BuildKernel assembles the mini-OS kernel image (loaded at KernelBase,
 // entered at KernelBase with the MMU off at EL1). It:
 //
@@ -48,7 +68,31 @@ const (
 // Syscalls (SVC from EL0) are handled at the high-half vector: putchar
 // writes the UART through the high device alias, exit halts the machine
 // with the user's x0 preserved.
-func BuildKernel() ([]byte, error) {
+func BuildKernel() ([]byte, error) { return buildKernel(0) }
+
+// BuildKernelPreemptive assembles the mini-OS kernel with a timer-driven
+// two-task round-robin scheduler. On top of BuildKernel's boot flow it arms
+// the platform timer for one time slice before dropping to EL0, takes the
+// resulting IRQ at the +0x180 (lower-EL) vector, spills the interrupted
+// task's full context into its control block, grants the next slice and
+// erets into the other task. Task 0 enters at UserBase, task 1 at
+// User2Base; either may end the run with SysExit. Because injection points
+// are pinned to virtual time (see the CheckIRQ difftest lane), the switch
+// schedule — and therefore the interleaved console output — is bit-identical
+// across the interpreter, Captive and the QEMU-style baseline.
+func BuildKernelPreemptive(slice uint64) ([]byte, error) {
+	if slice == 0 {
+		return nil, fmt.Errorf("bench: preemptive kernel needs a non-zero time slice")
+	}
+	return buildKernel(slice)
+}
+
+// buildKernel emits the kernel; slice == 0 builds the classic cooperative
+// kernel (the exact instruction stream BuildKernel has always produced — the
+// bench baselines pin its retired-instruction counts), slice > 0 adds the
+// preemptive scheduler.
+func buildKernel(slice uint64) ([]byte, error) {
+	sched := slice > 0
 	p := asm.New(KernelBase)
 
 	// --- boot (identity, MMU off) ---
@@ -104,6 +148,35 @@ func BuildKernel() ([]byte, error) {
 
 	p.Label("high")
 	p.MovI(asm.SP, HighBase+KernStack)
+	if sched {
+		// Keep the timer line masked until the first user entry: the
+		// kernel never runs with interrupts open.
+		p.MovI(0, 1)
+		p.Msr(ga64.SysDAIF, 0)
+		// Task 1 starts cold — its control block needs only an entry
+		// point, a stack and an EL0 SPSR; guest RAM is zeroed, so the
+		// GPR slots are already the zeros a fresh task expects.
+		p.MovI(0, HighBase+TaskCB1)
+		p.MovI(1, User2Base)
+		p.Str(1, 0, tcbELR)
+		p.MovI(1, User2Stack)
+		p.Str(1, 0, tcbSP)
+		p.MovI(1, 0)
+		p.Str(1, 0, tcbSPSR)
+		// Task 0 runs first (x1 is still zero).
+		p.MovI(0, HighBase+CurTaskVar)
+		p.Str(1, 0, 0)
+		// Arm the first slice and unmask the timer line; the IRQ is
+		// delivered once the eret below opens PSTATE.I at EL0.
+		p.MovI(0, HighBase+uint64(ga64.TimerBase))
+		p.Mrs(1, ga64.SysCNTVCT)
+		p.MovI(2, slice)
+		p.Add(1, 1, 2)
+		p.Str(1, 0, device.TimerCmp)
+		p.MovI(1, 1)
+		p.Str(1, 0, device.TimerCtrl)
+		p.Msr(ga64.SysIRQEN, 1) // x1 == 1 == IRQENTimer
+	}
 	// Enter the user program at EL0.
 	p.MovI(0, UserBase)
 	p.Msr(ga64.SysELR, 0)
@@ -126,8 +199,12 @@ func BuildKernel() ([]byte, error) {
 	// +0x100: synchronous from EL0 — syscalls and user faults.
 	p.B("sync_el0")
 	p.AlignTo(0x180)
-	// +0x180: IRQ from EL0 — unused.
-	p.Hlt(0x3FFD)
+	// +0x180: IRQ from EL0 — the scheduler's time slice, when built.
+	if sched {
+		p.B("irq_el0")
+	} else {
+		p.Hlt(0x3FFD)
+	}
 
 	p.Label("sync_el0")
 	// Save the user's SP and switch to the kernel stack: TPIDR is the
@@ -180,7 +257,106 @@ func BuildKernel() ([]byte, error) {
 	p.Mrs(1, ga64.SysFAR)
 	p.Hlt(0x3FF0)
 
+	if sched {
+		emitScheduler(p, slice)
+	}
+
 	return p.Assemble()
+}
+
+// emitScheduler emits the timer-IRQ context switch: spill the interrupted
+// task into TaskCB[CurTask], re-arm the timer one slice ahead (which drops
+// the level-triggered line), flip CurTask and restore the other task.
+// PSTATE.I is set for the whole handler (TakeException raised it), so the
+// switch itself can never be preempted.
+func emitScheduler(p *asm.Program, slice uint64) {
+	p.Label("irq_el0")
+	// Stash x0/x1 so the TCB pointer can be computed; everything else is
+	// still the interrupted task's and is spilled untouched below.
+	p.Msr(ga64.SysSCRATCH0, 0)
+	p.Msr(ga64.SysSCRATCH1, 1)
+	// x0 = &TaskCB[CurTask] (high alias).
+	p.MovI(1, HighBase+CurTaskVar)
+	p.Ldr(0, 1, 0)
+	p.Lsl(0, 0, tcbShift)
+	p.MovI(1, HighBase+TaskCB0)
+	p.Add(0, 0, 1)
+	// Spill x2..x30 straight into their slots.
+	for r := asm.Reg(2); r <= 28; r += 2 {
+		p.Stp(r, r+1, 0, int32(r))
+	}
+	p.Str(asm.LR, 0, 30*8)
+	// SP moves through TPIDR (the mini-OS's scratch sysreg — dead outside
+	// the never-preempted sync handler).
+	p.Msr(ga64.SysTPIDR, asm.SP)
+	p.Mrs(2, ga64.SysTPIDR)
+	p.Str(2, 0, tcbSP)
+	p.Mrs(2, ga64.SysELR)
+	p.Str(2, 0, tcbELR)
+	p.Mrs(2, ga64.SysSPSR)
+	p.Str(2, 0, tcbSPSR)
+	p.Mrs(2, ga64.SysSCRATCH0)
+	p.Str(2, 0, 0*8)
+	p.Mrs(2, ga64.SysSCRATCH1)
+	p.Str(2, 0, 1*8)
+	// Grant the next slice; moving CNTVCT+slice into cmp also drops the
+	// level-triggered line, so the eret below cannot re-trap immediately.
+	p.MovI(2, HighBase+uint64(ga64.TimerBase))
+	p.Mrs(3, ga64.SysCNTVCT)
+	p.MovI(4, slice)
+	p.Add(3, 3, 4)
+	p.Str(3, 2, device.TimerCmp)
+	// Flip CurTask and point x0 at the other control block.
+	p.MovI(2, HighBase+CurTaskVar)
+	p.Ldr(3, 2, 0)
+	p.EorI(3, 3, 1)
+	p.Str(3, 2, 0)
+	p.Lsl(3, 3, tcbShift)
+	p.MovI(0, HighBase+TaskCB0)
+	p.Add(0, 0, 3)
+	// Restore the incoming task: sysregs first (while scratch is free),
+	// then the GPR file, x0 itself last since it is the base pointer.
+	p.Ldr(2, 0, tcbELR)
+	p.Msr(ga64.SysELR, 2)
+	p.Ldr(2, 0, tcbSPSR)
+	p.Msr(ga64.SysSPSR, 2)
+	p.Ldr(2, 0, tcbSP)
+	p.Msr(ga64.SysTPIDR, 2)
+	p.Mrs(asm.SP, ga64.SysTPIDR)
+	p.Ldr(asm.LR, 0, 30*8)
+	for r := asm.Reg(2); r <= 28; r += 2 {
+		p.Ldp(r, r+1, 0, int32(r))
+	}
+	p.Ldr(1, 0, 1*8)
+	p.Ldr(0, 0, 0*8)
+	p.Eret()
+}
+
+// BuildPreemptiveImage pairs the preemptive kernel with two user tasks.
+func BuildPreemptiveImage(task0, task1 *asm.Program, slice uint64) (Image, error) {
+	kern, err := BuildKernelPreemptive(slice)
+	if err != nil {
+		return Image{}, fmt.Errorf("bench: kernel: %w", err)
+	}
+	t0, err := task0.Assemble()
+	if err != nil {
+		return Image{}, fmt.Errorf("bench: task 0: %w", err)
+	}
+	t1, err := task1.Assemble()
+	if err != nil {
+		return Image{}, fmt.Errorf("bench: task 1: %w", err)
+	}
+	return Image{
+		Kernel: kern, Entry: KernelBase,
+		User: t0, UserPA: UserBase,
+		User2: t1, User2PA: User2Base,
+	}, nil
+}
+
+// User2Program wraps the second task of a preemptive image: the body runs at
+// EL0 from User2Base.
+func User2Program() *asm.Program {
+	return asm.New(User2Base)
 }
 
 // UserProgram wraps a user-mode workload body: the body runs at EL0 from
@@ -197,10 +373,12 @@ func EmitPutchar(p *asm.Program) { p.Svc(SysPutchar) }
 
 // Image is a loadable guest memory image.
 type Image struct {
-	Kernel []byte
-	User   []byte // may be nil for bare-metal images
-	Entry  uint64
-	UserPA uint64
+	Kernel  []byte
+	User    []byte // may be nil for bare-metal images
+	User2   []byte // second task of a preemptive image; usually nil
+	Entry   uint64
+	UserPA  uint64
+	User2PA uint64
 }
 
 // BuildSystemImage pairs the mini-OS kernel with a user program.

@@ -62,6 +62,7 @@ type Stats struct {
 	BlockChains    uint64
 	HostFaults     uint64
 	GuestFaults    uint64
+	IRQsDelivered  uint64
 	MMIOEmulations uint64
 	SMCInvals      uint64
 	TransFlushes   uint64 // guest TLB flush / regime changes
@@ -130,6 +131,13 @@ type Engine struct {
 	halted   bool
 	exitCode uint64
 
+	// idleOff is the virtual time skipped while idling in wfi: with no
+	// interrupt deliverable but the timer armed, the hart sleeps to the
+	// compare deadline instead of burning instructions. It is part of the
+	// guest-visible virtual clock (VirtualTime), never of the simulated
+	// host clock.
+	idleOff uint64
+
 	// regfile layout shortcuts
 	pcOff   int
 	nzcvOff int
@@ -184,9 +192,17 @@ func New(vm *hvm.VM, g port.Port, module *gen.Module) (*Engine, error) {
 	}
 
 	e.hooks = port.Hooks{
-		CycleCount:         func() uint64 { return e.cpu.Stats.Cycles / 10 },
+		CycleCount:         e.VirtualTime,
 		TranslationChanged: e.translationChanged,
+		TimerLine:          e.timerLine,
 	}
+	// The device bus ticks on the same virtual clock the guest reads
+	// through CNTVCT/time: retired instructions, not simulated host cycles.
+	// Host cycles are engine-dependent (dispatch and JIT charges differ by
+	// backend), so a timer driven by them would fire at different guest
+	// instructions on different engines; the virtual clock makes interrupt
+	// arrival bit-identical everywhere.
+	vm.Bus.Cycles = e.VirtualTime
 
 	// Pin the fixed registers (package comment of emitter.go).
 	cpu := e.cpu
@@ -198,6 +214,7 @@ func New(vm *hvm.VM, g port.Port, module *gen.Module) (*Engine, error) {
 	cpu.SetCR3(e.mmu.rootCR3(0), true)
 
 	e.registerHelpers()
+	e.refreshIRQ()
 	return e, nil
 }
 
@@ -252,6 +269,37 @@ func (e *Engine) GuestInstrs() uint64 {
 	return e.vm.Phys.R64(e.vm.Layout.StatePA + hvm.StateICount)
 }
 
+// VirtualTime returns the guest-visible virtual counter: retired guest
+// instructions plus the time skipped while idle in wfi. Unlike the simulated
+// host clock (deci-cycles, which embed engine-specific dispatch and JIT
+// charges), this clock advances identically across all three engines — it is
+// what the timer compares against and what CNTVCT/time read.
+func (e *Engine) VirtualTime() uint64 { return e.GuestInstrs() + e.idleOff }
+
+func (e *Engine) timerLine() bool { return e.vm.Bus.IRQPending() }
+
+// refreshIRQ recomputes the block-entry interrupt deadline (the StateIRQDl
+// state-page slot read by the IRQCHK instruction in every block's
+// instrumentation prologue, in retired-instruction units) after any event
+// that can change deliverability: system-register writes, exception
+// entry/return, timer MMIO, and wfi idle skips. Invariant: the slot holds a
+// finite deadline only when delivery is guaranteed once the deadline is
+// reached — an IRQCHK trap that did not end in delivery would re-enter the
+// same block and trap again forever.
+func (e *Engine) refreshIRQ() {
+	line := e.vm.Bus.IRQPending()
+	dl := ^uint64(0)
+	if e.sys.PendingIRQ(line, &e.hooks) {
+		dl = 0
+	} else if !line && e.vm.Bus.TimerEnable && e.sys.PendingIRQ(true, &e.hooks) {
+		// Armed and deliverable once it fires: the line rises at virtual
+		// time TimerCmpVal, i.e. at retired count TimerCmpVal - idleOff
+		// (no underflow: line low means the count is still below that).
+		dl = e.vm.Bus.TimerCmpVal - e.idleOff
+	}
+	e.vm.Phys.W64(e.vm.Layout.StatePA+hvm.StateIRQDl, dl)
+}
+
 // Console returns the guest UART output.
 func (e *Engine) Console() string { return e.vm.Bus.Console() }
 
@@ -279,6 +327,9 @@ func (e *Engine) raise(ex port.Exception) {
 		return
 	}
 	e.SetPC(entry.PC)
+	// Exception entry changes interrupt deliverability (GA64 masks IRQs on
+	// every entry; RV64 changes the privilege mode the gating depends on).
+	e.refreshIRQ()
 }
 
 // translationChanged responds to guest TTBR/SCTLR writes and TLB flushes:
@@ -380,6 +431,24 @@ func (e *Engine) Run(budget uint64) error {
 		}
 
 		pc := e.PC()
+		// Interrupt delivery point: every dispatcher entry is a block
+		// boundary, so the interrupted PC (the preferred return address) is
+		// always a block start — the same boundary the interpreter and the
+		// IRQCHK prologue check observe, which is what pins delivery to the
+		// same retired-instruction count on every engine.
+		if line := e.vm.Bus.IRQPending(); e.sys.PendingIRQ(line, &e.hooks) {
+			e.Stats.IRQsDelivered++
+			e.cpu.Stats.Cycles += costInjectExc
+			entry := e.sys.TakeIRQ(pc, line, e.NZCV(), &e.hooks)
+			if entry.Halt {
+				e.halted = true
+				e.exitCode = entry.Code
+				continue
+			}
+			e.SetPC(entry.PC)
+			pc = entry.PC
+			e.refreshIRQ()
+		}
 		el := e.sys.EL()
 		if e.Kind == BackendQEMU && el != e.lastEL {
 			// The baseline keeps one softmmu TLB: privilege changes flush
@@ -487,6 +556,13 @@ func (e *Engine) execute(blk *Block, pc uint64, el uint8, limit uint64) error {
 			}
 			// Resolved (mapping installed / MMIO emulated): resume.
 			continue
+		case vx64.TrapIRQ:
+			// The block-entry IRQCHK hit its deadline: the guest PC still
+			// points at the block start (nothing retired). Back to the
+			// dispatcher, which performs the delivery; no chaining from
+			// this exit.
+			e.SetPC(cpu.R[vx64.RPC])
+			return nil
 		case vx64.TrapBudget:
 			e.SetPC(cpu.R[vx64.RPC])
 			return nil
@@ -630,6 +706,8 @@ func (e *Engine) emulateMMIO(trap vx64.Trap, gpa uint64) error {
 			v = e.cpu.R[in.Rs]
 		}
 		e.vm.MMIO(gpa, true, width, v)
+		// A device write may have armed, disarmed or retargeted the timer.
+		e.refreshIRQ()
 	}
 	e.cpu.RIP = trap.NextRIP
 	return nil
@@ -668,6 +746,11 @@ func (e *Engine) registerHelpers() {
 			e.raise(port.Exception{Kind: port.ExcUndefined, PC: c.R[vx64.RPC]})
 			return vx64.HelperExit
 		}
+		// The write may have unmasked or enabled an interrupt source
+		// (DAIF/IRQEN, mstatus/mie/mideleg); the rest of this block (and
+		// anything it chains to) runs before the next dispatcher entry, so
+		// the block-entry deadline must be refreshed here.
+		e.refreshIRQ()
 		return vx64.HelperContinue
 	}
 	h[hSVC] = func(c *vx64.CPU) vx64.HelperAction {
@@ -684,6 +767,8 @@ func (e *Engine) registerHelpers() {
 		newPC, nzcv := e.sys.ERet(&e.hooks)
 		e.SetNZCV(nzcv)
 		e.SetPC(newPC)
+		// The return restores the saved interrupt mask and privilege mode.
+		e.refreshIRQ()
 		return vx64.HelperExit
 	}
 	h[hTLBI] = func(c *vx64.CPU) vx64.HelperAction {
@@ -696,8 +781,27 @@ func (e *Engine) registerHelpers() {
 		return vx64.HelperExit
 	}
 	h[hWFI] = func(c *vx64.CPU) vx64.HelperAction {
-		// No interrupt sources: treat as halt.
+		line := e.vm.Bus.IRQPending()
+		if e.sys.WFIWake(line, &e.hooks) {
+			// A source is pending and enabled: wfi completes as a nop.
+			// The block's tail advances the PC past it and exits to the
+			// dispatcher, which delivers if the global mask allows.
+			return vx64.HelperContinue
+		}
+		if e.vm.Bus.TimerEnable && e.sys.WFIWake(true, &e.hooks) {
+			if dl := e.vm.Bus.TimerCmpVal; dl > e.VirtualTime() {
+				// The timer is armed and its interrupt enabled: skip
+				// virtual time forward to the deadline instead of
+				// spinning, then resume (the line is high now).
+				e.idleOff += dl - e.VirtualTime()
+				e.refreshIRQ()
+				return vx64.HelperContinue
+			}
+		}
+		// No enabled source can ever wake the hart: halt cleanly (exit
+		// code 0, the same resting state the interpreter reports).
 		e.halted = true
+		e.exitCode = 0
 		return vx64.HelperExit
 	}
 	h[hUndef] = func(c *vx64.CPU) vx64.HelperAction {

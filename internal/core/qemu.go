@@ -193,6 +193,9 @@ func (e *Engine) qemuFill(c *vx64.CPU) vx64.HelperAction {
 		e.Stats.MMIOEmulations++
 		if write {
 			e.vm.MMIO(gpa, true, width, val)
+			// A device write may have armed, silenced or re-aimed the
+			// timer: recompute the block-entry injection deadline.
+			e.refreshIRQ()
 		} else {
 			e.setRet(e.vm.MMIO(gpa, false, width, 0))
 		}

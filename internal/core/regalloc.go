@@ -59,7 +59,7 @@ func operands(li *LInst) []opnd {
 	case vx64.LOAD8, vx64.LOAD16, vx64.LOAD32, vx64.LOAD64,
 		vx64.LOADS8, vx64.LOADS16, vx64.LOADS32, vx64.LEA:
 		add(&i.Rd, false, false, true)
-	case vx64.STORE8, vx64.STORE16, vx64.STORE32, vx64.STORE64:
+	case vx64.STORE8, vx64.STORE16, vx64.STORE32, vx64.STORE64, vx64.IRQCHK:
 		add(&i.Rs, false, true, false)
 	case vx64.ADDrr, vx64.SUBrr, vx64.ANDrr, vx64.ORrr, vx64.XORrr,
 		vx64.SHLrr, vx64.SHRrr, vx64.SARrr, vx64.MULrr, vx64.UMULH, vx64.SMULH,
@@ -118,7 +118,7 @@ func operands(li *LInst) []opnd {
 	case vx64.LOAD8, vx64.LOAD16, vx64.LOAD32, vx64.LOAD64,
 		vx64.LOADS8, vx64.LOADS16, vx64.LOADS32, vx64.LEA,
 		vx64.STORE8, vx64.STORE16, vx64.STORE32, vx64.STORE64,
-		vx64.FLD, vx64.FST:
+		vx64.FLD, vx64.FST, vx64.IRQCHK:
 		if i.MBaseV != 0 {
 			out = append(out, opnd{field: &i.MBaseV, fp: false, use: true})
 		}

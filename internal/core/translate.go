@@ -40,6 +40,14 @@ func (e *Engine) translateBlock(pc, gpa uint64, el uint8) (*Block, error) {
 		ic := em.newG()
 		em.emit(vx64.Inst{Op: vx64.LOAD64, Rd: ic,
 			M: vx64.Mem{Base: vx64.RSTA, Index: vx64.NoReg, Scale: 1, Disp: hvm.StateICount}})
+		// Block-entry interrupt check: trap to the dispatcher when the
+		// retired-instruction count has reached the injection deadline the
+		// engine keeps in StateIRQDl. The comparison uses the count *before*
+		// this block retires anything, so chained and superblocked entries
+		// observe exactly the boundary the dispatcher (and the interpreter)
+		// would have checked.
+		em.emit(vx64.Inst{Op: vx64.IRQCHK, Rs: ic,
+			M: vx64.Mem{Base: vx64.RSTA, Index: vx64.NoReg, Scale: 1, Disp: hvm.StateIRQDl}})
 		em.emit(vx64.Inst{Op: vx64.ADDri, Rd: ic, Imm: int64(n)})
 		em.emit(vx64.Inst{Op: vx64.STORE64, Rs: ic,
 			M: vx64.Mem{Base: vx64.RSTA, Index: vx64.NoReg, Scale: 1, Disp: hvm.StateICount}})
@@ -134,10 +142,18 @@ func (e *Engine) translateBlock(pc, gpa uint64, el uint8) (*Block, error) {
 	}
 
 	// Charge the translation work to the simulated clock and update stats.
+	// The IRQCHK in the instrumentation prologue is excluded from the
+	// charge: it is part of the engine's injection machinery, not of the
+	// translated guest code, and charging it would shift the calibrated
+	// cycle model of every interrupt-free program.
+	charged := uint64(len(alloc))
+	if n > 0 {
+		charged--
+	}
 	if e.Kind == BackendQEMU {
-		e.cpu.Stats.Cycles += costQJITBase + costQJITPerLIR*uint64(len(alloc))
+		e.cpu.Stats.Cycles += costQJITBase + costQJITPerLIR*charged
 	} else {
-		e.cpu.Stats.Cycles += costJITBase + costJITPerLIR*uint64(len(alloc))
+		e.cpu.Stats.Cycles += costJITBase + costJITPerLIR*charged
 	}
 	e.JIT.Blocks++
 	e.JIT.GuestInstrs += n

@@ -10,8 +10,15 @@ import "bytes"
 // UART register offsets (from ga64.UARTBase).
 const (
 	UARTTx     = 0x00 // write: transmit byte
-	UARTStatus = 0x04 // read: bit0 = tx ready (always set)
+	UARTStatus = 0x04 // read: bit0 = tx ready (always set), bit1 = rx ready
 	UARTRx     = 0x08 // read: next input byte, 0 when empty
+)
+
+// UARTStatus bits. The rx-ready bit disambiguates a literal 0x00 input byte
+// from an empty receive queue: poll status before reading UARTRx.
+const (
+	UARTTxReady = 1 << 0
+	UARTRxReady = 1 << 1
 )
 
 // Timer register offsets (from ga64.TimerBase).
@@ -43,45 +50,57 @@ const (
 	timerOff = 0x1000
 )
 
+// sizeMask returns the value mask of a 1/2/4/8-byte access.
+func sizeMask(size uint8) uint64 {
+	if size >= 8 {
+		return ^uint64(0)
+	}
+	return 1<<(8*size) - 1
+}
+
 // Read performs an MMIO read at the given offset within the device window.
+// Sub-word accesses return the low size bytes of the register.
 func (b *Bus) Read(off uint64, size uint8) uint64 {
 	b.MMIOAccesses++
+	var v uint64
 	switch off {
 	case uartOff + UARTStatus:
-		return 1
+		v = UARTTxReady
+		if len(b.uartIn) > 0 {
+			v |= UARTRxReady
+		}
 	case uartOff + UARTRx:
 		if len(b.uartIn) == 0 {
 			return 0
 		}
-		v := b.uartIn[0]
+		v = uint64(b.uartIn[0])
 		b.uartIn = b.uartIn[1:]
-		return uint64(v)
 	case timerOff + TimerCount:
 		if b.Cycles != nil {
-			return b.Cycles()
+			v = b.Cycles()
 		}
-		return 0
 	case timerOff + TimerCmp:
-		return b.TimerCmpVal
+		v = b.TimerCmpVal
 	case timerOff + TimerCtrl:
 		if b.TimerEnable {
-			return 1
+			v = 1
 		}
-		return 0
 	}
-	return 0
+	return v & sizeMask(size)
 }
 
 // Write performs an MMIO write at the given offset within the device window.
+// Sub-word accesses merge into the low size bytes of the register.
 func (b *Bus) Write(off uint64, size uint8, v uint64) {
 	b.MMIOAccesses++
+	mask := sizeMask(size)
 	switch off {
 	case uartOff + UARTTx:
 		b.uartOut.WriteByte(byte(v))
 	case timerOff + TimerCmp:
-		b.TimerCmpVal = v
+		b.TimerCmpVal = b.TimerCmpVal&^mask | v&mask
 	case timerOff + TimerCtrl:
-		b.TimerEnable = v&1 != 0
+		b.TimerEnable = v&mask&1 != 0
 	}
 }
 

@@ -111,3 +111,42 @@ var MMURegressionSeeds = []struct {
 	{0x5EED3001, 100}, {0x5EED3002, 100}, {0x5EED3003, 160}, {0x5EED3004, 160},
 	{780, 200}, {31340, 200},
 }
+
+// IRQRegressionSeeds is the committed corpus of the GA64 interrupt lane
+// (CheckIRQ): programs that arm the platform timer through MMIO, enable
+// and mask the line through IRQEN/DAIF, mix WFI (wake, idle-skip and
+// halt paths) with straight-line work and take vectored timer interrupts
+// whose arrival points are part of the compared state. Add exposing seeds
+// here when an injection divergence is found and fixed.
+var IRQRegressionSeeds = []struct {
+	Seed int64
+	Ops  int
+}{
+	{1, 40}, {2, 40}, {3, 40}, {4, 40},
+	{5, 80}, {6, 80}, {7, 80}, {8, 80},
+	{9, 120}, {10, 120}, {11, 120}, {12, 120},
+	{13, 160}, {14, 160}, {15, 160}, {16, 160},
+	{0x5EED6001, 100}, {0x5EED6002, 100}, {0x5EED6003, 160}, {0x5EED6004, 160},
+	{783, 200}, {31343, 200},
+}
+
+// RV64IRQRegressionSeeds is the committed corpus of the RV64 interrupt
+// lane (CheckRV64IRQ). Even/odd seeds tend to draw the M-/S-mode body
+// flavours: machine-timer interrupts to mtvec, delegated supervisor
+// software interrupts to stvec, mip/sip traffic, WFI and mstatus/sstatus
+// mask toggles. Add exposing seeds here when an injection divergence is
+// found and fixed.
+var RV64IRQRegressionSeeds = []struct {
+	Seed int64
+	Ops  int
+}{
+	{1, 40}, {2, 40}, {3, 40}, {4, 40},
+	{5, 80}, {6, 80}, {7, 80}, {8, 80},
+	{9, 120}, {10, 120}, {11, 120}, {12, 120},
+	{13, 160}, {14, 160}, {15, 160}, {16, 160},
+	{0x5EED7001, 100}, {0x5EED7002, 100}, {0x5EED7003, 160}, {0x5EED7004, 160},
+	{784, 200}, {31344, 200},
+	// Exposed the qemu softmmu device-write path skipping the injection-
+	// deadline refresh (an IRQCHK livelock against a stale deadline).
+	{7000097, 100},
+}

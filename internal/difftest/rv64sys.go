@@ -54,10 +54,13 @@ const rvSentinel = 0xE0D
 // RVSysGolden is the reference configuration of the sys lane.
 var RVSysGolden = EngineID{Name: "interp", Level: ssa.O4}
 
-// rvsysCSRNames lists the compared CSRs in snapshot order.
+// rvsysCSRNames lists the compared CSRs in snapshot order. The trailing
+// interrupt CSRs are snapshotted by the IRQ lane only (rvirqSnapshot); the
+// sys lane's shorter snapshot uses the common prefix.
 var rvsysCSRNames = []string{
 	"priv", "mstatus", "medeleg", "mtvec", "mscratch", "mepc", "mcause", "mtval",
 	"stvec", "sscratch", "sepc", "scause", "stval", "satp",
+	"mideleg", "mie", "mip",
 }
 
 func rvsysCSRName(i int) string {

@@ -90,6 +90,25 @@ func (p *sysPort) Take(ex port.Exception, nzcv uint8, _ *port.Hooks) port.Entry 
 // ERet implements port.Sys (hooks unused, as in Take).
 func (p *sysPort) ERet(_ *port.Hooks) (uint64, uint8) { return p.sys.ERet() }
 
+// PendingIRQ implements port.Sys: the timer line is deliverable when it is
+// forwarded by the IRQEN sliver and PSTATE.I is clear.
+func (p *sysPort) PendingIRQ(line bool, _ *port.Hooks) bool {
+	return line && p.sys.IRQEN&IRQENTimer != 0 && !p.sys.IMask
+}
+
+// WFIWake implements port.Sys: wfi wakes on a pending-and-enabled source
+// regardless of PSTATE.I (the architectural wfi wake rule).
+func (p *sysPort) WFIWake(line bool, _ *port.Hooks) bool {
+	return line && p.sys.IRQEN&IRQENTimer != 0
+}
+
+// TakeIRQ implements port.Sys: asynchronous entry through the IRQ vectors;
+// no syndrome is recorded. GA64 has a single source, so the line level
+// carries no extra information here.
+func (p *sysPort) TakeIRQ(pc uint64, _ bool, nzcv uint8, _ *port.Hooks) port.Entry {
+	return port.Entry{PC: p.sys.TakeException(0, 0, 0, nzcv, pc, true)}
+}
+
 // ReadReg implements port.Sys.
 func (p *sysPort) ReadReg(idx uint64, h *port.Hooks) (uint64, bool) {
 	return p.sys.ReadReg(idx, p.sys.EL, h)

@@ -22,7 +22,16 @@ const (
 	SysCNTVCT    = 10 // virtual counter (read-only, simulated cycles)
 	SysSCRATCH0  = 11
 	SysSCRATCH1  = 12
+	SysIRQEN     = 13 // interrupt enable sliver (bit 0: vtimer line enable)
+	SysISR       = 14 // interrupt status (read-only; bit 0: timer pending)
+	SysDAIF      = 15 // interrupt mask (bit 0: the PSTATE.I analog)
 	NumSysRegs   = 16
+)
+
+// IRQEN / ISR / DAIF bits of the GIC-shaped interrupt sliver.
+const (
+	IRQENTimer = 1 << 0 // IRQEN: timer line forwarded to the core
+	DAIFI      = 1 << 0 // DAIF: IRQs masked
 )
 
 // SCTLR bits.
@@ -54,6 +63,10 @@ const (
 	VecIRQLower  = 0x180
 )
 
+// SPSRIMask is the saved-interrupt-mask bit in SPSR (the PSTATE.I analog;
+// bits 1:0 hold the EL, bits 7:4 the NZCV nibble).
+const SPSRIMask = 1 << 8
+
 // Sys is the guest system state outside the register file.
 type Sys struct {
 	TTBR0, TTBR1 uint64
@@ -63,7 +76,9 @@ type Sys struct {
 	ESR, FAR     uint64
 	TPIDR        uint64
 	Scratch      [2]uint64
+	IRQEN        uint64 // interrupt-enable sliver (IRQENTimer)
 	EL           uint8
+	IMask        bool // PSTATE.I analog: IRQs masked when set
 }
 
 // Reset puts the system state into its architectural reset state: EL1, MMU
@@ -78,13 +93,21 @@ func (s *Sys) MMUOn() bool { return s.SCTLR&SCTLRMmuEnable != 0 }
 // TakeException performs the architectural exception entry: saves return
 // state, records the syndrome, switches to EL1 and returns the new PC.
 // preferredReturn is the ELR value (faulting instruction for aborts, next
-// instruction for SVC).
+// instruction for SVC, the interrupted instruction for IRQs). Every entry
+// masks further IRQs (the saved mask goes to SPSR); asynchronous entries
+// leave ESR/FAR untouched — an IRQ has no syndrome.
 func (s *Sys) TakeException(ec uint8, iss uint32, far uint64, nzcv uint8, preferredReturn uint64, irq bool) (newPC uint64) {
 	fromEL := s.EL
 	s.ELR = preferredReturn
 	s.SPSR = uint64(fromEL)&3 | uint64(nzcv&0xF)<<4
-	s.ESR = uint64(ec)<<26 | uint64(iss)
-	s.FAR = far
+	if s.IMask {
+		s.SPSR |= SPSRIMask
+	}
+	if !irq {
+		s.ESR = uint64(ec)<<26 | uint64(iss)
+		s.FAR = far
+	}
+	s.IMask = true
 	s.EL = 1
 	off := uint64(VecSyncSame)
 	switch {
@@ -98,13 +121,14 @@ func (s *Sys) TakeException(ec uint8, iss uint32, far uint64, nzcv uint8, prefer
 	return s.VBAR + off
 }
 
-// ERet performs the architectural exception return: restores EL and NZCV
-// from SPSR and returns the new PC (from ELR).
+// ERet performs the architectural exception return: restores EL, NZCV and
+// the interrupt mask from SPSR and returns the new PC (from ELR).
 func (s *Sys) ERet() (newPC uint64, nzcv uint8) {
 	s.EL = uint8(s.SPSR & 3)
 	if s.EL > 1 {
 		s.EL = 1
 	}
+	s.IMask = s.SPSR&SPSRIMask != 0
 	return s.ELR, uint8(s.SPSR >> 4 & 0xF)
 }
 
@@ -149,6 +173,19 @@ func (s *Sys) ReadReg(idx uint64, el uint8, h *Hooks) (v uint64, ok bool) {
 		return s.Scratch[0], true
 	case SysSCRATCH1:
 		return s.Scratch[1], true
+	case SysIRQEN:
+		return s.IRQEN, true
+	case SysISR:
+		// Raw pending status, before the PSTATE.I mask (GIC-style).
+		if s.IRQEN&IRQENTimer != 0 && h != nil && h.TimerLine != nil && h.TimerLine() {
+			return 1, true
+		}
+		return 0, true
+	case SysDAIF:
+		if s.IMask {
+			return DAIFI, true
+		}
+		return 0, true
 	}
 	return 0, false
 }
@@ -182,7 +219,11 @@ func (s *Sys) WriteReg(idx uint64, v uint64, el uint8, h *Hooks) (ok bool) {
 		s.Scratch[0] = v
 	case SysSCRATCH1:
 		s.Scratch[1] = v
-	case SysCURRENTEL, SysCNTVCT:
+	case SysIRQEN:
+		s.IRQEN = v & IRQENTimer
+	case SysDAIF:
+		s.IMask = v&DAIFI != 0
+	case SysCURRENTEL, SysCNTVCT, SysISR:
 		return false
 	default:
 		return false

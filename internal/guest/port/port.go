@@ -68,6 +68,10 @@ type Hooks struct {
 	// TranslationChanged is invoked when system-register writes change the
 	// translation regime (engines must drop cached translations).
 	TranslationChanged func()
+	// TimerLine returns the current level of the timer interrupt line
+	// (device.Bus.IRQPending under the virtual clock). Nil for user-level
+	// harnesses without a device bus; ports treat nil as line-low.
+	TimerLine func() bool
 }
 
 // ExcKind classifies an engine-raised guest exception. The engines only
@@ -145,6 +149,27 @@ type Sys interface {
 	// WriteReg writes a system register (the sys_write intrinsic). ok is
 	// false for privilege violations or read-only registers.
 	WriteReg(idx uint64, v uint64, h *Hooks) (ok bool)
+
+	// PendingIRQ reports whether an interrupt would be accepted at the next
+	// block boundary were the timer line at the given level. All
+	// architectural gating is the port's business: source enables (GA64
+	// IRQEN, RV64 mie), global masks (PSTATE.I, mstatus.MIE/SIE) and
+	// delegation (mideleg). Engines evaluate the line from device.Bus
+	// against the virtual clock and never interpret guest interrupt state.
+	PendingIRQ(line bool, h *Hooks) bool
+	// WFIWake reports whether a wfi would (re)start execution with the
+	// timer line at the given level: an interrupt source is pending and
+	// enabled, *ignoring* global masks (the architectural wfi wake rule on
+	// both guests). Engines also call it with line=true to ask whether a
+	// future timer expiry could ever wake the hart (the idle-skip
+	// decision).
+	WFIWake(line bool, h *Hooks) bool
+	// TakeIRQ performs the architectural interrupt entry for the
+	// highest-priority deliverable source: pc is the interrupted
+	// block-boundary PC (the preferred return address), line the timer-line
+	// level the engine just tested PendingIRQ with, nzcv the current flags
+	// nibble.
+	TakeIRQ(pc uint64, line bool, nzcv uint8, h *Hooks) Entry
 }
 
 // Banks names the register-file banks the engines address directly. GPR and

@@ -410,6 +410,9 @@ func (p *Program) Mret() *Program { return p.emit(0x30200073) }
 // Sret emits sret (supervisor trap return).
 func (p *Program) Sret() *Program { return p.emit(0x10200073) }
 
+// Wfi emits wfi (wait for interrupt).
+func (p *Program) Wfi() *Program { return p.emit(0x10500073) }
+
 // SfenceVma emits sfence.vma x0, x0 (global translation fence).
 func (p *Program) SfenceVma() *Program { return p.emit(0x12000073) }
 

@@ -41,11 +41,22 @@ func (Port) Banks() port.Banks {
 	return port.Banks{GPR: "X", Flags: "NZCV", ZeroGPR: 0}
 }
 
-// IsDevice implements port.Port: the model has no MMIO window.
-func (Port) IsDevice(uint64) bool { return false }
+// The MMIO window: one megabyte of guest physical address space holding the
+// UART and timer emulations. The same physical placement as the GA64 window
+// (the machines share the device.Bus layout), but stated locally — guest
+// models never import each other.
+const (
+	DeviceBase = 0x10000000
+	DeviceSize = 0x00100000
+)
 
-// DeviceBase implements port.Port (no MMIO window).
-func (Port) DeviceBase() uint64 { return 0 }
+// IsDevice implements port.Port.
+func (Port) IsDevice(pa uint64) bool {
+	return pa >= DeviceBase && pa < DeviceBase+DeviceSize
+}
+
+// DeviceBase implements port.Port.
+func (Port) DeviceBase() uint64 { return DeviceBase }
 
 // NewSys implements port.Port.
 func (Port) NewSys() port.Sys {
@@ -87,6 +98,23 @@ func (p *sysPort) Take(ex port.Exception, _ uint8, h *port.Hooks) port.Entry {
 
 // ERet implements port.Sys (the mret/sret return; flags are not banked).
 func (p *sysPort) ERet(h *port.Hooks) (uint64, uint8) { return p.sys.ERet(h), 0 }
+
+// PendingIRQ implements port.Sys: full privileged gating (mip & mie, the
+// mideleg target split, mstatus.MIE/SIE in the target's own mode).
+func (p *sysPort) PendingIRQ(line bool, _ *port.Hooks) bool {
+	_, ok := p.sys.PendingIRQCode(line)
+	return ok
+}
+
+// WFIWake implements port.Sys: pending-and-enabled ignoring global masks.
+func (p *sysPort) WFIWake(line bool, _ *port.Hooks) bool {
+	return p.sys.WFIWake(line)
+}
+
+// TakeIRQ implements port.Sys (flags are not banked, so nzcv is ignored).
+func (p *sysPort) TakeIRQ(pc uint64, line bool, _ uint8, h *port.Hooks) port.Entry {
+	return p.sys.TakeIRQ(pc, line, h)
+}
 
 // ReadReg implements port.Sys (the Zicsr read path).
 func (p *sysPort) ReadReg(csr uint64, h *port.Hooks) (uint64, bool) {

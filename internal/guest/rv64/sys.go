@@ -42,21 +42,26 @@ const (
 // CSR numbers (the 12-bit csr field of Zicsr instructions; real encodings).
 const (
 	CSRSstatus  = 0x100
+	CSRSie      = 0x104
 	CSRStvec    = 0x105
 	CSRSscratch = 0x140
 	CSRSepc     = 0x141
 	CSRScause   = 0x142
 	CSRStval    = 0x143
+	CSRSip      = 0x144
 	CSRSatp     = 0x180
 
 	CSRMstatus  = 0x300
 	CSRMisa     = 0x301
 	CSRMedeleg  = 0x302
+	CSRMideleg  = 0x303
+	CSRMie      = 0x304
 	CSRMtvec    = 0x305
 	CSRMscratch = 0x340
 	CSRMepc     = 0x341
 	CSRMcause   = 0x342
 	CSRMtval    = 0x343
+	CSRMip      = 0x344
 
 	CSRMhartid = 0xF14
 )
@@ -78,7 +83,32 @@ const (
 	sstatusMask = MstatusSIE | MstatusSPIE | MstatusSPP | MstatusSUM
 )
 
-// Exception cause codes (mcause/scause values; interrupts are not modelled).
+// Interrupt codes (mcause/scause values with CauseInterrupt set; the mip/mie
+// bit positions). The timer line from device.Bus drives MTIP, CLINT-style;
+// STIP and SSIP are software-set (M-mode forwards the timer to S by writing
+// STIP, the usual SBI pattern).
+const (
+	IRQSSoft  = 1 // supervisor software interrupt (SSIP/SSIE)
+	IRQSTimer = 5 // supervisor timer interrupt (STIP/STIE)
+	IRQMTimer = 7 // machine timer interrupt (MTIP/MTIE)
+
+	MipSSIP = 1 << IRQSSoft
+	MipSTIP = 1 << IRQSTimer
+	MipMTIP = 1 << IRQMTimer
+
+	// CauseInterrupt is the interrupt bit of mcause/scause.
+	CauseInterrupt = uint64(1) << 63
+
+	mipWritable = MipSSIP | MipSTIP // MTIP is line-driven, read-only
+	mieWritable = MipSSIP | MipSTIP | MipMTIP
+)
+
+// MidelegMask is the WARL mask of delegatable interrupts: the supervisor
+// interrupts only — MTI always traps to M (hardwired 0, like medeleg's
+// ecall-from-M bit).
+const MidelegMask = MipSSIP | MipSTIP
+
+// Exception cause codes (mcause/scause values).
 const (
 	CauseInsnAccess  = 1
 	CauseIllegal     = 2
@@ -128,6 +158,9 @@ type Sys struct {
 
 	Mstatus  uint64
 	Medeleg  uint64
+	Mideleg  uint64
+	Mie      uint64
+	Mip      uint64 // software-set bits only; MTIP is composed from the line
 	Mtvec    uint64
 	Mscratch uint64
 	Mepc     uint64
@@ -311,6 +344,93 @@ func (s *Sys) Take(ex port.Exception, h *port.Hooks) port.Entry {
 	return port.Entry{PC: s.Mtvec}
 }
 
+// mip composes the architectural mip value: the stored software-set bits
+// plus the line-driven MTIP.
+func (s *Sys) mip(line bool) uint64 {
+	v := s.Mip
+	if line {
+		v |= MipMTIP
+	}
+	return v
+}
+
+// PendingIRQCode returns the highest-priority interrupt deliverable right
+// now with the timer line at the given level, applying the full privileged
+// gating: per-bit target mode from mideleg, mstatus.MIE for M-targets taken
+// in M, mstatus.SIE for S-targets taken in S (S-targets are never taken in
+// M; targets above the current mode are always deliverable). Priority is
+// MTI, then SSI, then STI within each target, M-targets first — the
+// privileged-spec order restricted to the implemented sources.
+func (s *Sys) PendingIRQCode(line bool) (code uint64, ok bool) {
+	pend := s.mip(line) & s.Mie
+	if pend == 0 {
+		return 0, false
+	}
+	mOK := s.Mode < PrivM || s.Mstatus&MstatusMIE != 0
+	sOK := s.Mode == PrivU || (s.Mode == PrivS && s.Mstatus&MstatusSIE != 0)
+	for _, c := range [...]uint64{IRQMTimer, IRQSSoft, IRQSTimer} {
+		if pend>>c&1 != 0 && s.Mideleg>>c&1 == 0 && mOK {
+			return c, true
+		}
+	}
+	for _, c := range [...]uint64{IRQSSoft, IRQSTimer} {
+		if pend>>c&1 != 0 && s.Mideleg>>c&1 != 0 && sOK {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// WFIWake reports whether a wfi would resume with the timer line at the
+// given level: any pending-and-enabled interrupt, regardless of the
+// mstatus.MIE/SIE global masks (the architectural wfi wake rule).
+func (s *Sys) WFIWake(line bool) bool {
+	return s.mip(line)&s.Mie != 0
+}
+
+// TakeIRQ performs the architectural interrupt entry for the
+// highest-priority deliverable interrupt: cause has the interrupt bit set,
+// tval is zero, epc is the interrupted (block-boundary) pc. The target mode
+// follows mideleg; a target with no vector installed halts, mirroring the
+// synchronous no-vector convention.
+func (s *Sys) TakeIRQ(pc uint64, line bool, h *port.Hooks) port.Entry {
+	code, ok := s.PendingIRQCode(line)
+	if !ok {
+		return port.Entry{PC: pc}
+	}
+	from := s.Mode
+	if s.Mideleg>>code&1 != 0 {
+		if s.Stvec == 0 {
+			return port.Entry{Halt: true, Code: 0xDEAD0100 + code}
+		}
+		s.Sepc, s.Scause, s.Stval = pc, CauseInterrupt|code, 0
+		s.Mstatus &^= MstatusSPIE | MstatusSPP
+		if s.Mstatus&MstatusSIE != 0 {
+			s.Mstatus |= MstatusSPIE
+		}
+		if from == PrivS {
+			s.Mstatus |= MstatusSPP
+		}
+		s.Mstatus &^= MstatusSIE
+		s.Mode = PrivS
+		s.regimeShift(from, h)
+		return port.Entry{PC: s.Stvec}
+	}
+	if s.Mtvec == 0 {
+		return port.Entry{Halt: true, Code: 0xDEAD0100 + code}
+	}
+	s.Mepc, s.Mcause, s.Mtval = pc, CauseInterrupt|code, 0
+	s.Mstatus &^= MstatusMPIE | MstatusMPP
+	if s.Mstatus&MstatusMIE != 0 {
+		s.Mstatus |= MstatusMPIE
+	}
+	s.Mstatus |= uint64(from) << MstatusMPPShift
+	s.Mstatus &^= MstatusMIE
+	s.Mode = PrivM
+	s.regimeShift(from, h)
+	return port.Entry{PC: s.Mtvec}
+}
+
 // ERet performs the trap return for the single eret intrinsic: an M-return
 // (mret) when in M-mode, an S-return (sret) otherwise.
 func (s *Sys) ERet(h *port.Hooks) uint64 {
@@ -351,9 +471,14 @@ func csrPriv(csr uint64) uint8 { return uint8(csr >> 8 & 3) }
 // (bits 11:10 == 0b11).
 func csrReadOnly(csr uint64) bool { return csr>>10&3 == 3 }
 
+// timerLine evaluates the Hooks timer-line level (line-low without a bus).
+func timerLine(h *port.Hooks) bool {
+	return h != nil && h.TimerLine != nil && h.TimerLine()
+}
+
 // ReadReg reads a CSR. ok is false for privilege violations and unimplemented
 // CSRs, which the engines turn into illegal-instruction exceptions.
-func (s *Sys) ReadReg(csr uint64, _ *port.Hooks) (v uint64, ok bool) {
+func (s *Sys) ReadReg(csr uint64, h *port.Hooks) (v uint64, ok bool) {
 	if s.Mode < csrPriv(csr) {
 		return 0, false
 	}
@@ -364,6 +489,16 @@ func (s *Sys) ReadReg(csr uint64, _ *port.Hooks) (v uint64, ok bool) {
 		return MisaValue, true
 	case CSRMedeleg:
 		return s.Medeleg, true
+	case CSRMideleg:
+		return s.Mideleg, true
+	case CSRMie:
+		return s.Mie, true
+	case CSRMip:
+		return s.mip(timerLine(h)), true
+	case CSRSie:
+		return s.Mie & s.Mideleg, true
+	case CSRSip:
+		return s.mip(timerLine(h)) & s.Mideleg, true
 	case CSRMtvec:
 		return s.Mtvec, true
 	case CSRMscratch:
@@ -423,6 +558,19 @@ func (s *Sys) WriteReg(csr, v uint64, h *port.Hooks) bool {
 		// WARL: writes are accepted and ignored (the extension set is fixed).
 	case CSRMedeleg:
 		s.Medeleg = v & MedelegMask
+	case CSRMideleg:
+		s.Mideleg = v & MidelegMask
+	case CSRMie:
+		s.Mie = v & mieWritable
+	case CSRMip:
+		s.Mip = v & mipWritable
+	case CSRSie:
+		m := uint64(mieWritable) & s.Mideleg
+		s.Mie = s.Mie&^m | v&m
+	case CSRSip:
+		// Only the delegated software-interrupt bit is S-writable.
+		m := uint64(MipSSIP) & s.Mideleg
+		s.Mip = s.Mip&^m | v&m
 	case CSRMtvec:
 		s.Mtvec = v &^ 3 // direct mode only
 	case CSRMscratch:

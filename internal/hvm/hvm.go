@@ -76,6 +76,7 @@ const (
 	StateRet      = 0x58
 	StateTmp0     = 0x60 // scratch spill slots for fix-up sequences
 	StateTmp1     = 0x68
+	StateIRQDl    = 0x70 // virtual-time deadline for the block-entry IRQ check
 )
 
 // VM is the host virtual machine.

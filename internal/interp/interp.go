@@ -47,6 +47,12 @@ type Machine struct {
 	Instrs uint64
 	// Exceptions counts taken guest exceptions (including halting ones).
 	Exceptions uint64
+	// IRQs counts delivered guest interrupts.
+	IRQs uint64
+
+	// idleOff is the virtual time skipped while idling in wfi (part of the
+	// virtual clock, alongside Instrs — the same split the DBT engines keep).
+	idleOff uint64
 
 	guest   port.Port
 	sys     port.Sys
@@ -93,21 +99,26 @@ func New(g port.Port, module *gen.Module, ramBytes int) *Machine {
 	if banks.FP != "" {
 		m.fpBank = module.Registry.Bank(banks.FP)
 	}
-	// The virtual counter advances with retired instructions. Blocks are
-	// charged at entry, so subtract the not-yet-executed suffix to keep the
-	// counter monotonic within a block.
-	retired := func() uint64 { return m.Instrs - uint64(len(m.block)-m.blockIdx) }
-	m.Bus.Cycles = retired
+	// The virtual counter advances with retired instructions (charged
+	// block-granularly at entry, exactly like the engines' instrumentation
+	// prologue — a mid-block read must see the same value everywhere) plus
+	// the time skipped while idle in wfi.
+	m.Bus.Cycles = m.virtualTime
 	// Nothing is cached across accesses (the walker runs fresh every time;
 	// a scanned block never outlives a regime-changing instruction, which
 	// ends its block per the shared rules), so translation changes need no
 	// action here.
 	m.hooks = port.Hooks{
-		CycleCount:         retired,
+		CycleCount:         m.virtualTime,
 		TranslationChanged: func() {},
+		TimerLine:          m.Bus.IRQPending,
 	}
 	return m
 }
+
+// virtualTime is the guest-visible virtual counter (see core.VirtualTime:
+// the clock is engine-independent by construction).
+func (m *Machine) virtualTime() uint64 { return m.Instrs + m.idleOff }
 
 // NewAt builds the guest module at the given offline optimization level and
 // creates a machine around it.
@@ -367,8 +378,22 @@ func (m *Machine) Intrinsic(id ssa.IntrID, args []uint64) (uint64, bool) {
 		m.ExitCode = args[0]
 		return 0, false
 	case ssa.IntrWFI:
-		// No interrupt sources are pending in the interpreter: treat as a
-		// halt to avoid spinning forever.
+		line := m.Bus.IRQPending()
+		if m.sys.WFIWake(line, &m.hooks) {
+			// A source is pending and enabled: wfi completes as a nop
+			// (delivery, if the global mask allows, happens at the next
+			// block boundary).
+			return 0, true
+		}
+		if m.Bus.TimerEnable && m.sys.WFIWake(true, &m.hooks) {
+			if dl := m.Bus.TimerCmpVal; dl > m.virtualTime() {
+				// Timer armed and its interrupt enabled: skip virtual
+				// time forward to the deadline instead of spinning.
+				m.idleOff += dl - m.virtualTime()
+				return 0, true
+			}
+		}
+		// No enabled source can ever wake the hart: halt cleanly.
 		m.Halted = true
 		m.ExitCode = 0
 		return 0, false
@@ -410,6 +435,18 @@ func (m *Machine) Step() (bool, error) {
 		return false, nil
 	}
 	if m.blockIdx >= len(m.block) {
+		// Interrupt delivery point: every block entry is a boundary, the
+		// same one the engines' dispatcher and block-entry IRQCHK observe.
+		if line := m.Bus.IRQPending(); m.sys.PendingIRQ(line, &m.hooks) {
+			m.IRQs++
+			entry := m.sys.TakeIRQ(m.PC(), line, m.NZCV(), &m.hooks)
+			if entry.Halt {
+				m.Halted = true
+				m.ExitCode = entry.Code
+				return false, nil
+			}
+			m.SetPC(entry.PC)
+		}
 		if !m.scanBlock() {
 			if m.pending.redirect {
 				m.SetPC(m.pending.pc)

@@ -84,4 +84,8 @@ var opCost = [opCount]uint64{
 	FNEG: CostFPMove, FABS: CostFPMove, FCMP: CostFPCmp,
 	CVTSI2SD: CostFPCvt, CVTUI2SD: CostFPCvt + 5,
 	CVTSD2SI: CostFPCvt, CVTSD2UI: CostFPCvt + 5,
+	// IRQCHK is fused into the instrumentation prologue (its state-page line
+	// is hot from the adjacent icount LOAD64), so it is free: adding it must
+	// not move the calibrated cycle model of any interrupt-free program.
+	IRQCHK: 0,
 }

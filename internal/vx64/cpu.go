@@ -66,6 +66,7 @@ const (
 	TrapHlt
 	TrapBudget     // cycle budget exhausted
 	TrapHelperExit // a helper requested return to the embedder
+	TrapIRQ        // IRQCHK deadline reached; RIP already advanced
 )
 
 func (k TrapKind) String() string {
@@ -92,6 +93,8 @@ func (k TrapKind) String() string {
 		return "budget"
 	case TrapHelperExit:
 		return "helper-exit"
+	case TrapIRQ:
+		return "irq"
 	}
 	return "?"
 }
@@ -615,6 +618,17 @@ func (c *CPU) execOp(inst *Inst, next uint64) bool {
 		size := storeWidth(inst.Op)
 		if f := c.memWrite(c.ea(inst.M), size, R[inst.Rs]); f != nil {
 			c.trap = c.pageFault(f, inst, next)
+			return false
+		}
+	case IRQCHK:
+		v, f := c.memRead(c.ea(inst.M), 8)
+		if f != nil {
+			c.trap = c.pageFault(f, inst, next)
+			return false
+		}
+		if R[inst.Rs] >= v {
+			c.RIP = next
+			c.trap = Trap{Kind: TrapIRQ, RIP: c.RIP, NextRIP: next}
 			return false
 		}
 	case LEA:

@@ -104,7 +104,7 @@ func Encode(buf []byte, inst *Inst) []byte {
 	case LOAD8, LOAD16, LOAD32, LOAD64, LOADS8, LOADS16, LOADS32, LEA, FLD:
 		buf = append(buf, ck(inst.Rd))
 		buf = appendMem(buf, inst.M)
-	case STORE8, STORE16, STORE32, STORE64, FST:
+	case STORE8, STORE16, STORE32, STORE64, FST, IRQCHK:
 		buf = append(buf, ck(inst.Rs))
 		buf = appendMem(buf, inst.M)
 	case SETcc:
@@ -245,7 +245,7 @@ func Decode(buf []byte, off int) (Inst, int, error) {
 			i++
 			inst.M, i, err = decodeMem(buf, i)
 		}
-	case STORE8, STORE16, STORE32, STORE64, FST:
+	case STORE8, STORE16, STORE32, STORE64, FST, IRQCHK:
 		if err = need(1); err == nil {
 			inst.Rs = uint16(buf[i])
 			i++

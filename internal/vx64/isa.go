@@ -161,6 +161,12 @@ const (
 	CVTSD2SI // rd <- int64(xs), truncating, x86 indefinite on NaN/overflow
 	CVTSD2UI
 
+	// IRQCHK traps (TrapIRQ) when rs >= mem64[m]: the block-boundary
+	// interrupt-deadline check the DBT engines fuse into every block's
+	// instrumentation prologue. Store-shaped (rs is a pure source); does not
+	// end a superblock — a non-firing check is a straight-line no-op.
+	IRQCHK
+
 	opCount // number of opcodes (keep last)
 )
 
@@ -262,6 +268,7 @@ var opNames = [opCount]string{
 	"fld", "fst", "fmovxr", "fmovrx", "fmovxx",
 	"fadd", "fsub", "fmul", "fdiv", "fsqrt", "fmin", "fmax", "fneg", "fabs",
 	"fcmp", "cvtsi2sd", "cvtui2sd", "cvtsd2si", "cvtsd2ui",
+	"irqchk",
 }
 
 // String returns the opcode mnemonic.
@@ -288,7 +295,7 @@ func (i Inst) String() string {
 		return fmt.Sprintf("%s r%d", i.Op, i.Rd)
 	case LOAD8, LOAD16, LOAD32, LOAD64, LOADS8, LOADS16, LOADS32, LEA:
 		return fmt.Sprintf("%s r%d, %s", i.Op, i.Rd, i.M)
-	case STORE8, STORE16, STORE32, STORE64:
+	case STORE8, STORE16, STORE32, STORE64, IRQCHK:
 		return fmt.Sprintf("%s %s, r%d", i.Op, i.M, i.Rs)
 	case SETcc:
 		return fmt.Sprintf("set%s r%d", i.Cond, i.Rd)

@@ -90,7 +90,7 @@ func opWorstCost(op Op) uint64 {
 	w := opCost[op]
 	switch op {
 	case LOAD8, LOAD16, LOAD32, LOAD64, LOADS8, LOADS16, LOADS32,
-		STORE8, STORE16, STORE32, STORE64, FLD, FST, CALL, CALLR, RET:
+		STORE8, STORE16, STORE32, STORE64, FLD, FST, IRQCHK, CALL, CALLR, RET:
 		w += CostTLBMiss // one translation per access
 	case JCC:
 		w += CostBrTaken - CostBrFall
