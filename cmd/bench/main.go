@@ -22,6 +22,11 @@
 //	bench -json out.json -mips-short           # CI smoke subset
 //	bench -json out.json -baseline before.json # attach baseline, compute speedups,
 //	                                           # fail if the sim-cycle model moved
+//
+// Each report row carries a "metrics" section (the unified
+// metrics.Snapshot for that engine/guest/workload cell). The baseline
+// gate never reads it: wall-clock-derived fields may vary run to run,
+// only the simulated model is held bit-identical.
 package main
 
 import (

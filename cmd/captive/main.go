@@ -9,12 +9,21 @@
 //	captive -image kernel.bin                       # Captive DBT, GA64
 //	captive -image os.bin -guest rv64 -engine qemu  # baseline, RISC-V
 //	captive -demo -engine interp                    # golden model demo
+//
+// The introspection layer (internal/trace) is surfaced through three flags,
+// none of which moves the simulated clock:
+//
+//	captive -demo -trace run.jsonl   # structured event stream (.bin: compact binary)
+//	captive -demo -profile 10        # top-10 hot blocks by attributed deci-cycles
+//	captive -demo -metrics           # unified metrics snapshot as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"captive/ga64asm"
 	"captive/internal/core"
@@ -26,7 +35,35 @@ import (
 	"captive/internal/interp"
 	"captive/internal/perf"
 	"captive/internal/ssa"
+	"captive/internal/trace"
 )
+
+// observeOpts carries the introspection flags into run.
+type observeOpts struct {
+	tracePath string // "" = tracing off
+	profile   int    // top-N hot blocks to print (0 = off; DBT engines only)
+	metrics   bool   // print the unified metrics snapshot as JSON
+}
+
+// openTrace builds the recorder for -trace: a JSONL sink, or the compact
+// binary sink for .bin paths. All event kinds are enabled. The caller closes
+// the returned file after the recorder is closed.
+func (o observeOpts) openTrace() (*trace.Recorder, *os.File, error) {
+	if o.tracePath == "" {
+		return nil, nil, nil
+	}
+	f, err := os.Create(o.tracePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var sink trace.Sink
+	if strings.HasSuffix(o.tracePath, ".bin") {
+		sink = trace.NewBinaryWriter(f)
+	} else {
+		sink = trace.NewJSONLWriter(f)
+	}
+	return trace.NewRecorder(sink, trace.AllKinds), f, nil
+}
 
 func main() {
 	imagePath := flag.String("image", "", "raw guest image (loaded at -load, entered at -entry)")
@@ -37,6 +74,9 @@ func main() {
 	ram := flag.Int("ram", 64, "guest RAM in MiB")
 	opt := flag.Int("opt", 4, "offline optimization level (1..4)")
 	demo := flag.Bool("demo", false, "run the bundled demo guest")
+	tracePath := flag.String("trace", "", "write the structured event stream to this file (.jsonl text; .bin compact binary)")
+	profile := flag.Int("profile", 0, "print the top-N hot blocks by attributed sim deci-cycles (DBT engines)")
+	metricsOut := flag.Bool("metrics", false, "print the unified metrics snapshot as JSON after the run")
 	flag.Parse()
 
 	var gp port.Port
@@ -76,25 +116,44 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := run(gp, level, *engine, image, *load, *entry, *ram<<20); err != nil {
+	obs := observeOpts{tracePath: *tracePath, profile: *profile, metrics: *metricsOut}
+	if err := run(gp, level, *engine, image, *load, *entry, *ram<<20, obs); err != nil {
 		fmt.Fprintln(os.Stderr, "captive:", err)
 		os.Exit(1)
 	}
 }
 
 // run executes the image on the selected engine and prints the report.
-func run(gp port.Port, level ssa.OptLevel, engine string, image []byte, load, entry uint64, ramBytes int) error {
+func run(gp port.Port, level ssa.OptLevel, engine string, image []byte, load, entry uint64, ramBytes int, obs observeOpts) error {
 	module, err := gp.Module(level)
 	if err != nil {
+		return err
+	}
+	rec, traceFile, err := obs.openTrace()
+	if err != nil {
+		return err
+	}
+	closeTrace := func() error {
+		if rec == nil {
+			return nil
+		}
+		err := rec.Close()
+		if cerr := traceFile.Close(); err == nil {
+			err = cerr
+		}
 		return err
 	}
 
 	if engine == "interp" {
 		m := interp.New(gp, module, ramBytes)
+		m.SetTrace(rec)
 		if err := m.LoadImage(image, load, entry); err != nil {
 			return err
 		}
 		if _, err := m.Run(4_000_000_000); err != nil {
+			return err
+		}
+		if err := closeTrace(); err != nil {
 			return err
 		}
 		if out := m.Console(); out != "" {
@@ -103,6 +162,12 @@ func run(gp port.Port, level ssa.OptLevel, engine string, image []byte, load, en
 		fmt.Printf("\n--- %s/interp halted=%v exit=%d ---\n", module.Arch, m.Halted, m.ExitCode)
 		fmt.Printf("guest instructions: %d\n", m.Instrs)
 		fmt.Printf("guest exceptions:   %d\n", m.Exceptions)
+		if obs.profile > 0 {
+			fmt.Println("hot-block profile: only the DBT engines collect one (-engine captive/qemu)")
+		}
+		if obs.metrics {
+			return printMetricsJSON(m.Metrics())
+		}
 		return nil
 	}
 
@@ -126,11 +191,15 @@ func run(gp port.Port, level ssa.OptLevel, engine string, image []byte, load, en
 	if err != nil {
 		return err
 	}
+	e.SetTrace(rec)
 	if err := e.LoadImage(image, load, entry); err != nil {
 		return err
 	}
 	budget := uint64(3_500_000_000_0) * 100 // deci-cycles for ~100 simulated s
 	if err := e.Run(budget); err != nil && err != core.ErrBudget {
+		return err
+	}
+	if err := closeTrace(); err != nil {
 		return err
 	}
 	if out := e.Console(); out != "" {
@@ -146,6 +215,29 @@ func run(gp port.Port, level ssa.OptLevel, engine string, image []byte, load, en
 		fmt.Printf("blocks translated:  %d (%d bytes of host code)\n",
 			e.JIT.Blocks, e.JIT.CodeBytes)
 	}
+	if obs.profile > 0 {
+		prof := e.ProfileSnapshot()
+		fmt.Printf("hot blocks (top %d of %d, by attributed sim deci-cycles):\n", obs.profile, len(prof))
+		for i, bp := range prof {
+			if i >= obs.profile {
+				break
+			}
+			fmt.Printf("  %#10x  %12d cycles  %10d runs\n", bp.PC, bp.Cycles, bp.Runs)
+		}
+	}
+	if obs.metrics {
+		return printMetricsJSON(e.Metrics())
+	}
+	return nil
+}
+
+// printMetricsJSON renders any metrics snapshot to stdout.
+func printMetricsJSON(v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
 	return nil
 }
 

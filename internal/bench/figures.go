@@ -163,12 +163,14 @@ func fig21Points(name string) (xs, ys []float64, err error) {
 		return nil, nil, err
 	}
 
+	// The hot-block profile is always on (PROFCNT arena counters), so no
+	// profiling switch is needed; the chaining-off methodology is kept only
+	// because it is what the paper's Fig. 21 scatter measures.
 	run := func(kind EngineKind) (map[uint64]uint64, map[uint64]uint64, error) {
 		e, err := newEngine(kind, opt)
 		if err != nil {
 			return nil, nil, err
 		}
-		e.ProfileBlocks = true
 		if err := e.LoadImage(img.Kernel, KernelBase, img.Entry); err != nil {
 			return nil, nil, err
 		}
@@ -178,7 +180,13 @@ func fig21Points(name string) (xs, ys []float64, err error) {
 		if err := e.Run(opt.budget()); err != nil {
 			return nil, nil, err
 		}
-		return e.BlockCycles, e.BlockRuns, nil
+		cycles := make(map[uint64]uint64)
+		runs := make(map[uint64]uint64)
+		for _, bp := range e.ProfileSnapshot() {
+			cycles[bp.PC] = bp.Cycles
+			runs[bp.PC] = bp.Runs
+		}
+		return cycles, runs, nil
 	}
 	cap, capRuns, err := run(EngineCaptive)
 	if err != nil {

@@ -25,6 +25,7 @@ import (
 	"captive/internal/guest/rv64"
 	"captive/internal/hvm"
 	"captive/internal/interp"
+	"captive/internal/metrics"
 )
 
 // MIPSRow is one engine × guest × workload measurement.
@@ -40,6 +41,10 @@ type MIPSRow struct {
 	// interpreter, which has no host-cycle model).
 	SimDeciCycles uint64 `json:"sim_deci_cycles"`
 	Checksum      uint64 `json:"checksum"`
+	// Metrics is the engine's unified metrics snapshot for the run (JIT
+	// phase times, code bytes, chain counts, …). Its wall-clock-derived
+	// fields vary run to run; MergeBaseline never reads this section.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 // Key identifies a row across reports.
@@ -120,6 +125,8 @@ func runGA64MIPS(kind EngineKind, w Workload, opt Options) (MIPSRow, error) {
 		row.WallSeconds = time.Since(start).Seconds()
 		row.GuestInstrs = m.Instrs
 		row.Checksum = m.Reg(1)
+		ms := m.Metrics()
+		row.Metrics = &ms
 	} else {
 		e, err := newEngine(kind, opt)
 		if err != nil {
@@ -144,6 +151,8 @@ func runGA64MIPS(kind EngineKind, w Workload, opt Options) (MIPSRow, error) {
 		row.GuestInstrs = e.GuestInstrs()
 		row.SimDeciCycles = e.Cycles()
 		row.Checksum = e.Reg(1)
+		ms := e.Metrics()
+		row.Metrics = &ms
 	}
 	row.GuestMIPS = mips(row.GuestInstrs, row.WallSeconds)
 	return row, nil
@@ -171,6 +180,8 @@ func runRV64MIPS(kind EngineKind, w RVWorkload, opt Options) (MIPSRow, error) {
 		}
 		row.GuestInstrs = m.Instrs
 		row.Checksum = m.Reg(11)
+		ms := m.Metrics()
+		row.Metrics = &ms
 	} else {
 		vm, err := hvm.New(hvm.Config{
 			GuestRAMBytes:  opt.ram(),
@@ -203,6 +214,8 @@ func runRV64MIPS(kind EngineKind, w RVWorkload, opt Options) (MIPSRow, error) {
 		row.GuestInstrs = e.GuestInstrs()
 		row.SimDeciCycles = e.Cycles()
 		row.Checksum = e.Reg(11)
+		ms := e.Metrics()
+		row.Metrics = &ms
 	}
 	row.GuestMIPS = mips(row.GuestInstrs, row.WallSeconds)
 	return row, nil

@@ -11,6 +11,7 @@ import (
 	"captive/internal/guest/ga64"
 	"captive/internal/guest/ga64/asm"
 	"captive/internal/hvm"
+	"captive/internal/trace"
 )
 
 // newKindEngine builds a Captive or QEMU-baseline engine for the dispatch
@@ -94,6 +95,75 @@ func TestDispatchSteadyStateAllocFree(t *testing.T) {
 			})
 			if allocs != 0 {
 				t.Errorf("steady-state dispatch allocates %.1f times per budget slice, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestDispatchTracingAllocFree extends the allocation gate to the
+// introspection layer: with a recorder *attached but with no hot-path kinds
+// enabled* the steady-state slice must still not allocate (the disabled path
+// is a nil hook plus a masked Emit), and with full tracing into the
+// preallocated ring sink it must not allocate either.
+func TestDispatchTracingAllocFree(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		mask uint32
+	}{
+		{"attached-disabled", trace.KindMask(trace.Translate)},
+		{"enabled-ring", trace.AllKinds},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			e := newKindEngine(t, false)
+			e.SetTrace(trace.NewRecorder(trace.NewRing(4096), cfg.mask))
+			loadHotLoop(t, e)
+			allocs := testing.AllocsPerRun(50, func() {
+				if err := e.Run(dispatchSlice); err != core.ErrBudget {
+					t.Fatalf("run: %v", err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("traced (%s) steady-state dispatch allocates %.1f times per slice, want 0", cfg.name, allocs)
+			}
+		})
+	}
+}
+
+// TestTracingInvariance pins the provably-free contract on real execution: a
+// program run with full tracing attached retires the same instructions,
+// burns the *bit-identical* number of simulated deci-cycles and computes the
+// same register state as the untraced run — tracing charges no cycles, ever.
+func TestTracingInvariance(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		qemu bool
+	}{{"captive", false}, {"qemu", true}} {
+		t.Run(cfg.name, func(t *testing.T) {
+			run := func(rec *trace.Recorder) (uint64, uint64, uint64) {
+				e := newKindEngine(t, cfg.qemu)
+				e.SetTrace(rec)
+				p := asm.New(0x1000)
+				p.MovI(0, 0)
+				p.MovI(1, 3)
+				p.MovI(2, 50000)
+				p.Label("loop")
+				p.Add(0, 0, 1)
+				p.Eor(1, 0, 2)
+				p.SubsI(2, 2, 1)
+				p.BCond(ga64.CondNE, "loop")
+				p.Hlt(0)
+				runCaptive(t, e, p)
+				return e.GuestInstrs(), e.Cycles(), e.Reg(0)
+			}
+			i0, c0, x0 := run(nil)
+			ring := trace.NewRing(1 << 16)
+			i1, c1, x1 := run(trace.NewRecorder(ring, trace.AllKinds))
+			if i0 != i1 || c0 != c1 || x0 != x1 {
+				t.Errorf("tracing perturbed the run: instrs %d→%d, cycles %d→%d, x0 %#x→%#x",
+					i0, i1, c0, c1, x0, x1)
+			}
+			if ring.Len() == 0 {
+				t.Error("full tracing recorded no events")
 			}
 		})
 	}

@@ -9,6 +9,7 @@ import (
 	"captive/internal/guest/port"
 	"captive/internal/hvm"
 	"captive/internal/softfloat"
+	"captive/internal/trace"
 	"captive/internal/vx64"
 )
 
@@ -83,14 +84,15 @@ type Engine struct {
 	SoftFP bool
 	// ChainingOff disables block chaining (Fig. 21 methodology).
 	ChainingOff bool
-	// ProfileBlocks accumulates per-block execution cycles (Fig. 21). Only
-	// meaningful with ChainingOff, so every block entry passes through the
-	// dispatcher.
-	ProfileBlocks bool
-	// BlockCycles and BlockRuns are the per-guest-block profile (keyed by
-	// block start PC) collected when ProfileBlocks is set.
-	BlockCycles map[uint64]uint64
-	BlockRuns   map[uint64]uint64
+
+	// rec is the attached trace recorder; nil (the default) records
+	// nothing, and every emission site is a nil compare in that state.
+	rec *trace.Recorder
+	// profPC maps profile-arena slots (the PROFCNT Imm of each translated
+	// block, one slot per translation) to the block's guest PC at
+	// translation time. ProfileSnapshot aggregates by PC so retranslations
+	// of the same block merge.
+	profPC []uint64
 
 	// softTLBOff is the R13-relative offset of the baseline's softmmu TLB.
 	softTLBOff int32
@@ -318,6 +320,7 @@ func (e *Engine) LoadImage(data []byte, gpa, entry uint64) error {
 // raise injects a guest exception through the port: full-system guests
 // vector to their handler; user-level guests halt with the port's exit code.
 func (e *Engine) raise(ex port.Exception) {
+	e.rec.Emit(trace.Exception, uint8(ex.Kind), e.VirtualTime(), ex.PC, ex.Addr)
 	e.Stats.GuestFaults++
 	e.cpu.Stats.Cycles += costInjectExc
 	entry := e.sys.Take(ex, e.NZCV(), &e.hooks)
@@ -337,6 +340,7 @@ func (e *Engine) raise(ex port.Exception) {
 // translation cache of *code* is retained because it is indexed by guest
 // physical address (§2.6) — only the chain links are reset.
 func (e *Engine) translationChanged() {
+	e.rec.Emit(trace.TLBFlush, 0, e.VirtualTime(), e.cpu.R[vx64.RPC], 0)
 	e.Stats.TransFlushes++
 	e.clearITLB()
 	if e.Kind == BackendQEMU {
@@ -350,6 +354,7 @@ func (e *Engine) translationChanged() {
 	e.cpu.Stats.Cycles += costInvalidateTr
 	e.mmu.InvalidateGuestMappings()
 	for _, ref := range e.allChained {
+		e.rec.Emit(trace.ChainUnpatch, 0, e.VirtualTime(), 0, ref.blk.GPA)
 		e.cache.unchain(ref.blk, ref.idx)
 	}
 	e.allChained = e.allChained[:0]
@@ -437,6 +442,7 @@ func (e *Engine) Run(budget uint64) error {
 		// IRQCHK prologue check observe, which is what pins delivery to the
 		// same retired-instruction count on every engine.
 		if line := e.vm.Bus.IRQPending(); e.sys.PendingIRQ(line, &e.hooks) {
+			e.rec.Emit(trace.IRQ, boolArg(line), e.VirtualTime(), pc, 0)
 			e.Stats.IRQsDelivered++
 			e.cpu.Stats.Cycles += costInjectExc
 			entry := e.sys.TakeIRQ(pc, line, e.NZCV(), &e.hooks)
@@ -484,25 +490,38 @@ func (e *Engine) Run(budget uint64) error {
 				if e.cache.chain(le.blk, le.idx, blk, pc) {
 					e.allChained = append(e.allChained, le)
 					e.Stats.BlockChains++
+					e.rec.Emit(trace.ChainPatch, 0, e.VirtualTime(), pc, le.blk.GPA)
 				}
 			}
 		}
 		e.lastExitOK = false
 
-		before := e.cpu.Stats.Cycles
 		if err := e.execute(blk, pc, el, limit); err != nil {
 			return err
 		}
-		if e.ProfileBlocks {
-			if e.BlockCycles == nil {
-				e.BlockCycles = make(map[uint64]uint64)
-				e.BlockRuns = make(map[uint64]uint64)
-			}
-			e.BlockCycles[pc] += e.cpu.Stats.Cycles - before
-			e.BlockRuns[pc]++
-		}
+		// Control is back in the dispatcher: close the open profile
+		// interval so dispatch, translation and injection costs are never
+		// attributed to a guest block.
+		e.cpu.ProfPause()
 	}
 	return nil
+}
+
+// boolArg packs a bool into a trace-event argument byte.
+func boolArg(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// mmioArg packs an MMIO access (width, direction) into the event argument
+// byte: low bits the access width, bit 7 set for writes.
+func mmioArg(width uint8, write bool) uint8 {
+	if write {
+		return width | 1<<7
+	}
+	return width
 }
 
 // execute runs one translated block (and anything it chains to).
@@ -531,6 +550,7 @@ func (e *Engine) execute(blk *Block, pc uint64, el uint8, limit uint64) error {
 		case vx64.TrapSoft:
 			if trap.Vec == dispatchTrapVec {
 				// Normal exit to dispatcher.
+				e.rec.Emit(trace.BlockExit, 0, e.VirtualTime(), cpu.R[vx64.RPC], 0)
 				e.SetPC(cpu.R[vx64.RPC])
 				if off := e.trapPA(trap) - e.vm.Layout.CodePA; off < uint64(len(e.exitByPA)) {
 					if id := e.exitByPA[off]; id != 0 {
@@ -639,6 +659,7 @@ func (e *Engine) handleHostFault(trap vx64.Trap) (bool, error) {
 	if write && e.mmu.isProtected(gpaPage) {
 		// Self-modifying code: drop the page's translations, lift the
 		// protection and retry the store (§2.6).
+		e.rec.Emit(trace.SMCInval, 0, e.VirtualTime(), guestPC, gpaPage<<12)
 		e.Stats.SMCInvals++
 		e.cache.invalidatePage(gpaPage)
 		e.mmu.unprotect(gpaPage)
@@ -684,6 +705,7 @@ func (e *Engine) emulateMMIO(trap vx64.Trap, gpa uint64) error {
 	default:
 		return fmt.Errorf("core: MMIO fault from non-memory instruction %v", in)
 	}
+	e.rec.Emit(trace.MMIO, mmioArg(width, !load), e.VirtualTime(), e.cpu.R[vx64.RPC], gpa)
 	if load {
 		v := e.vm.MMIO(gpa, false, width, 0)
 		if in.Op == vx64.LOADS8 {
@@ -793,7 +815,9 @@ func (e *Engine) registerHelpers() {
 				// The timer is armed and its interrupt enabled: skip
 				// virtual time forward to the deadline instead of
 				// spinning, then resume (the line is high now).
-				e.idleOff += dl - e.VirtualTime()
+				skipped := dl - e.VirtualTime()
+				e.rec.Emit(trace.WFIIdle, 0, e.VirtualTime(), c.R[vx64.RPC], skipped)
+				e.idleOff += skipped
 				e.refreshIRQ()
 				return vx64.HelperContinue
 			}

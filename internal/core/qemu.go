@@ -5,6 +5,7 @@ import (
 	"captive/internal/gen"
 	"captive/internal/guest/port"
 	"captive/internal/hvm"
+	"captive/internal/trace"
 	"captive/internal/vx64"
 )
 
@@ -191,6 +192,7 @@ func (e *Engine) qemuFill(c *vx64.CPU) vx64.HelperAction {
 	gpa := w.PA
 	if e.guest.IsDevice(gpa) {
 		e.Stats.MMIOEmulations++
+		e.rec.Emit(trace.MMIO, mmioArg(width, write), e.VirtualTime(), guestPC, gpa)
 		if write {
 			e.vm.MMIO(gpa, true, width, val)
 			// A device write may have armed, silenced or re-aimed the
@@ -208,6 +210,7 @@ func (e *Engine) qemuFill(c *vx64.CPU) vx64.HelperAction {
 	// Self-modifying code: a store into a page with translations flushes
 	// them (QEMU-style dirty tracking).
 	if write && e.cache.pageHasCode(gpa>>12) {
+		e.rec.Emit(trace.SMCInval, 0, e.VirtualTime(), guestPC, gpa&^uint64(0xFFF))
 		e.Stats.SMCInvals++
 		e.cache.invalidatePage(gpa >> 12)
 	}

@@ -46,7 +46,8 @@ func operands(li *LInst) []opnd {
 	}
 	switch i.Op {
 	case vx64.NOP, vx64.RET, vx64.SYSCALL, vx64.SYSRET, vx64.HLT,
-		vx64.TLBFLUSHALL, vx64.JMP, vx64.JCC, vx64.HELPER, vx64.TRAP:
+		vx64.TLBFLUSHALL, vx64.JMP, vx64.JCC, vx64.HELPER, vx64.TRAP,
+		vx64.PROFCNT:
 		// no register operands
 	case vx64.MOVrr:
 		add(&i.Rd, false, false, true)

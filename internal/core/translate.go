@@ -8,6 +8,7 @@ import (
 	"captive/internal/gen"
 	"captive/internal/guest/port"
 	"captive/internal/hvm"
+	"captive/internal/trace"
 	"captive/internal/vx64"
 )
 
@@ -48,6 +49,13 @@ func (e *Engine) translateBlock(pc, gpa uint64, el uint8) (*Block, error) {
 		// would have checked.
 		em.emit(vx64.Inst{Op: vx64.IRQCHK, Rs: ic,
 			M: vx64.Mem{Base: vx64.RSTA, Index: vx64.NoReg, Scale: 1, Disp: hvm.StateIRQDl}})
+		// Hot-block profile marker. After the interrupt check (an entry the
+		// IRQCHK aborts retired nothing and must count nothing) and before
+		// the retire-count update (so the trace hook observes the same
+		// virtual time the interpreter stamps its block entries with).
+		em.emit(vx64.Inst{Op: vx64.PROFCNT, Imm: int64(len(e.profPC))})
+		e.profPC = append(e.profPC, pc)
+		e.cpu.Prof = append(e.cpu.Prof, vx64.ProfCell{})
 		em.emit(vx64.Inst{Op: vx64.ADDri, Rd: ic, Imm: int64(n)})
 		em.emit(vx64.Inst{Op: vx64.STORE64, Rs: ic,
 			M: vx64.Mem{Base: vx64.RSTA, Index: vx64.NoReg, Scale: 1, Disp: hvm.StateICount}})
@@ -142,13 +150,14 @@ func (e *Engine) translateBlock(pc, gpa uint64, el uint8) (*Block, error) {
 	}
 
 	// Charge the translation work to the simulated clock and update stats.
-	// The IRQCHK in the instrumentation prologue is excluded from the
-	// charge: it is part of the engine's injection machinery, not of the
-	// translated guest code, and charging it would shift the calibrated
-	// cycle model of every interrupt-free program.
+	// The IRQCHK and PROFCNT in the instrumentation prologue are excluded
+	// from the charge: they are part of the engine's injection and
+	// observability machinery, not of the translated guest code, and
+	// charging them would shift the calibrated cycle model of every
+	// pre-observability program.
 	charged := uint64(len(alloc))
 	if n > 0 {
-		charged--
+		charged -= 2
 	}
 	if e.Kind == BackendQEMU {
 		e.cpu.Stats.Cycles += costQJITBase + costQJITPerLIR*charged
@@ -159,6 +168,7 @@ func (e *Engine) translateBlock(pc, gpa uint64, el uint8) (*Block, error) {
 	e.JIT.GuestInstrs += n
 	e.JIT.LIRInsts += len(alloc)
 	e.JIT.CodeBytes += len(code)
+	e.rec.Emit(trace.Translate, uint8(el), e.VirtualTime(), pc, uint64(len(code)))
 	return blk, nil
 }
 

@@ -23,7 +23,9 @@ import (
 	"captive/internal/device"
 	"captive/internal/gen"
 	"captive/internal/guest/port"
+	"captive/internal/metrics"
 	"captive/internal/ssa"
+	"captive/internal/trace"
 )
 
 // Machine is an interpreted guest machine for any ported architecture.
@@ -53,6 +55,12 @@ type Machine struct {
 	// idleOff is the virtual time skipped while idling in wfi (part of the
 	// virtual clock, alongside Instrs — the same split the DBT engines keep).
 	idleOff uint64
+
+	// rec is the attached trace recorder (nil: tracing off; every Emit is
+	// nil-safe). The golden model emits the same event vocabulary as the DBT
+	// engines, stamped with the same engine-independent virtual clock, so
+	// the comparable streams (trace.ComparableKinds) match event-for-event.
+	rec *trace.Recorder
 
 	guest   port.Port
 	sys     port.Sys
@@ -119,6 +127,23 @@ func New(g port.Port, module *gen.Module, ramBytes int) *Machine {
 // virtualTime is the guest-visible virtual counter (see core.VirtualTime:
 // the clock is engine-independent by construction).
 func (m *Machine) virtualTime() uint64 { return m.Instrs + m.idleOff }
+
+// SetTrace attaches a trace recorder (nil detaches). Tracing is pure
+// observation: it never changes what the machine computes or counts.
+func (m *Machine) SetTrace(r *trace.Recorder) { m.rec = r }
+
+// Metrics returns the unified metrics snapshot of the reference engine. The
+// interpreter has no JIT, no simulated host CPU and no cycle model, so only
+// the architectural axis and the guest event counters are populated.
+func (m *Machine) Metrics() metrics.Snapshot {
+	return metrics.Snapshot{
+		Engine:        "interp",
+		GuestInstrs:   m.Instrs,
+		VirtualTime:   m.virtualTime(),
+		GuestFaults:   m.Exceptions,
+		IRQsDelivered: m.IRQs,
+	}
+}
 
 // NewAt builds the guest module at the given offline optimization level and
 // creates a machine around it.
@@ -218,6 +243,7 @@ func (m *Machine) fetchRead(pa uint64) (uint32, bool) {
 // raise injects a guest exception exactly as the engines do: vector to the
 // guest handler, or halt when the port terminates the machine.
 func (m *Machine) raise(ex port.Exception) {
+	m.rec.Emit(trace.Exception, uint8(ex.Kind), m.virtualTime(), ex.PC, ex.Addr)
 	m.Exceptions++
 	entry := m.sys.Take(ex, m.NZCV(), &m.hooks)
 	if entry.Halt {
@@ -294,6 +320,7 @@ func (m *Machine) MemRead(width uint8, va uint64) (uint64, bool) {
 		return 0, false
 	}
 	if m.guest.IsDevice(pa) {
+		m.rec.Emit(trace.MMIO, mmioArg(width, false), m.virtualTime(), m.curPC, pa)
 		return m.Bus.Read(pa-m.devBase, width), true
 	}
 	if pa+uint64(width) > uint64(len(m.Mem)) {
@@ -319,6 +346,7 @@ func (m *Machine) MemWrite(width uint8, va uint64, v uint64) bool {
 		return false
 	}
 	if m.guest.IsDevice(pa) {
+		m.rec.Emit(trace.MMIO, mmioArg(width, true), m.virtualTime(), m.curPC, pa)
 		m.Bus.Write(pa-m.devBase, width, v)
 		return true
 	}
@@ -389,7 +417,9 @@ func (m *Machine) Intrinsic(id ssa.IntrID, args []uint64) (uint64, bool) {
 			if dl := m.Bus.TimerCmpVal; dl > m.virtualTime() {
 				// Timer armed and its interrupt enabled: skip virtual
 				// time forward to the deadline instead of spinning.
-				m.idleOff += dl - m.virtualTime()
+				skipped := dl - m.virtualTime()
+				m.rec.Emit(trace.WFIIdle, 0, m.virtualTime(), m.curPC, skipped)
+				m.idleOff += skipped
 				return 0, true
 			}
 		}
@@ -424,6 +454,10 @@ func (m *Machine) scanBlock() bool {
 		m.raise(port.Exception{Kind: port.ExcUndefined, PC: pc})
 		return false
 	}
+	// Block entry, stamped with the pre-retire virtual time — the DBT
+	// engines' PROFCNT marker sits before their retire-count update, so
+	// both streams carry identical (time, pc) pairs.
+	m.rec.Emit(trace.BlockEnter, 0, m.virtualTime(), pc, 0)
 	m.Instrs += uint64(len(m.block))
 	return true
 }
@@ -438,6 +472,7 @@ func (m *Machine) Step() (bool, error) {
 		// Interrupt delivery point: every block entry is a boundary, the
 		// same one the engines' dispatcher and block-entry IRQCHK observe.
 		if line := m.Bus.IRQPending(); m.sys.PendingIRQ(line, &m.hooks) {
+			m.rec.Emit(trace.IRQ, boolArg(line), m.virtualTime(), m.PC(), 0)
 			m.IRQs++
 			entry := m.sys.TakeIRQ(m.PC(), line, m.NZCV(), &m.hooks)
 			if entry.Halt {
@@ -498,4 +533,20 @@ func (m *Machine) Run(limit uint64) (uint64, error) {
 		}
 	}
 	return m.Instrs - start, fmt.Errorf("interp: step limit %d exceeded at pc %#x", limit, m.PC())
+}
+
+// boolArg and mmioArg encode trace event arguments exactly like the DBT
+// engines (core.boolArg/core.mmioArg), keeping the streams comparable.
+func boolArg(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func mmioArg(width uint8, write bool) uint8 {
+	if write {
+		return width | 1<<7
+	}
+	return width
 }

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"encoding/binary"
+	"io"
+	"strconv"
+)
+
+// Ring is a fixed-capacity, preallocated ring sink: the last cap events are
+// retained and Emit never allocates, so it is the sink the allocation-gated
+// dispatch paths record into.
+type Ring struct {
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewRing builds a ring retaining the last n events (n >= 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Emit stores the event, overwriting the oldest when full.
+func (r *Ring) Emit(ev Event) {
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Close is a no-op.
+func (r *Ring) Close() error { return nil }
+
+// Len reports how many events are retained.
+func (r *Ring) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Events returns the retained events, oldest first, as a fresh slice.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, r.Len())
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	return append(out, r.buf[:r.next]...)
+}
+
+// Capture is an unbounded append sink for tests and the difftest
+// trace-equality lane, where the full stream matters more than allocation.
+type Capture struct {
+	Events []Event
+}
+
+// Emit appends the event.
+func (c *Capture) Emit(ev Event) { c.Events = append(c.Events, ev) }
+
+// Close is a no-op.
+func (c *Capture) Close() error { return nil }
+
+// JSONLWriter encodes one JSON object per event per line — the
+// human-greppable export format of cmd/captive -trace. Encoding is manual
+// (strconv into a reused buffer), not reflective, so a steady stream does
+// not allocate per event.
+type JSONLWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONLWriter builds a JSONL sink over w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: w, buf: make([]byte, 0, 160)}
+}
+
+// Emit writes the event as one JSON line. Write errors are sticky and
+// surfaced by Close.
+func (j *JSONLWriter) Emit(ev Event) {
+	if j.err != nil {
+		return
+	}
+	b := j.buf[:0]
+	b = append(b, `{"kind":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, `","time":`...)
+	b = strconv.AppendUint(b, ev.Time, 10)
+	b = append(b, `,"pc":"0x`...)
+	b = strconv.AppendUint(b, ev.PC, 16)
+	b = append(b, `","addr":"0x`...)
+	b = strconv.AppendUint(b, ev.Addr, 16)
+	b = append(b, `","arg":`...)
+	b = strconv.AppendUint(b, uint64(ev.Arg), 10)
+	b = append(b, "}\n"...)
+	j.buf = b
+	if _, err := j.w.Write(b); err != nil {
+		j.err = err
+	}
+}
+
+// Close reports any sticky write error.
+func (j *JSONLWriter) Close() error { return j.err }
+
+// binaryRecordLen is the fixed on-disk record size of BinaryWriter.
+const binaryRecordLen = 2 + 3*8
+
+// BinaryWriter encodes fixed 26-byte little-endian records — the compact
+// export format for long traces: kind, arg, then time/pc/addr as uint64.
+type BinaryWriter struct {
+	w   io.Writer
+	buf [binaryRecordLen]byte
+	err error
+}
+
+// NewBinaryWriter builds a binary sink over w.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{w: w}
+}
+
+// Emit writes one fixed-size record. Write errors are sticky and surfaced
+// by Close.
+func (b *BinaryWriter) Emit(ev Event) {
+	if b.err != nil {
+		return
+	}
+	b.buf[0] = byte(ev.Kind)
+	b.buf[1] = ev.Arg
+	binary.LittleEndian.PutUint64(b.buf[2:], ev.Time)
+	binary.LittleEndian.PutUint64(b.buf[10:], ev.PC)
+	binary.LittleEndian.PutUint64(b.buf[18:], ev.Addr)
+	if _, err := b.w.Write(b.buf[:]); err != nil {
+		b.err = err
+	}
+}
+
+// Close reports any sticky write error.
+func (b *BinaryWriter) Close() error { return b.err }
+
+// ReadBinary decodes a BinaryWriter stream back into events, for tools and
+// the round-trip tests.
+func ReadBinary(r io.Reader) ([]Event, error) {
+	var out []Event
+	var rec [binaryRecordLen]byte
+	for {
+		_, err := io.ReadFull(r, rec[:])
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, Event{
+			Kind: Kind(rec[0]),
+			Arg:  rec[1],
+			Time: binary.LittleEndian.Uint64(rec[2:]),
+			PC:   binary.LittleEndian.Uint64(rec[10:]),
+			Addr: binary.LittleEndian.Uint64(rec[18:]),
+		})
+	}
+}

@@ -88,4 +88,7 @@ var opCost = [opCount]uint64{
 	// is hot from the adjacent icount LOAD64), so it is free: adding it must
 	// not move the calibrated cycle model of any interrupt-free program.
 	IRQCHK: 0,
+	// PROFCNT is pure observability (profile-arena bump, trace hook): it
+	// must never move the simulated clock, so like IRQCHK it is free.
+	PROFCNT: 0,
 }

@@ -185,6 +185,16 @@ type Stats struct {
 	Traps     uint64
 }
 
+// ProfCell is one slot of the per-block profile arena: execution count and
+// simulated deci-cycles attributed to the block. Cells are bumped by the
+// PROFCNT instruction the DBT engines fuse into every translated block's
+// instrumentation prologue — a slice indexed by slot id, never a map, so
+// profiling stays on with chaining and superblocks at zero dispatch cost.
+type ProfCell struct {
+	Runs   uint64
+	Cycles uint64
+}
+
 // CPU is a VX64 hardware thread. The zero value is not usable; create one
 // with NewCPU.
 type CPU struct {
@@ -210,6 +220,22 @@ type CPU struct {
 	Helpers []HelperFunc
 
 	Stats Stats
+
+	// Prof is the profile arena PROFCNT indexes by Imm; the embedder owns
+	// allocation (engine translateBlock appends one cell per block) and must
+	// re-assign the field after growing it. TraceBlock, when non-nil, fires
+	// at every PROFCNT — the DBT engines' block-entry trace hook; it is nil
+	// unless block tracing is enabled, so the disabled path is one pointer
+	// compare.
+	Prof       []ProfCell
+	TraceBlock func()
+
+	// profLast/profMark implement marker-to-marker cycle attribution:
+	// profLast is the arena slot of the block currently executing (-1 none)
+	// and profMark the Stats.Cycles reading at its PROFCNT. The next PROFCNT
+	// (or ProfPause) flushes the delta into the cell.
+	profLast int32
+	profMark uint64
 
 	tlb [tlbSize]tlbEntry
 
@@ -246,9 +272,21 @@ type CPU struct {
 
 // NewCPU creates a CPU over the given physical memory.
 func NewCPU(phys PhysMem) *CPU {
-	c := &CPU{Phys: phys}
+	c := &CPU{Phys: phys, profLast: -1}
 	c.FlushTLB()
 	return c
+}
+
+// ProfPause closes the open profile interval: the cycles accumulated since
+// the last PROFCNT are flushed into its cell and attribution stops until the
+// next PROFCNT. The engines call it when control returns to the dispatcher,
+// so dispatch, translation and exception-injection costs are never
+// attributed to a guest block.
+func (c *CPU) ProfPause() {
+	if c.profLast >= 0 {
+		c.Prof[c.profLast].Cycles += c.Stats.Cycles - c.profMark
+		c.profLast = -1
+	}
 }
 
 // SetCodeRegion declares [lo, hi) of physical memory as the generated-code
@@ -630,6 +668,22 @@ func (c *CPU) execOp(inst *Inst, next uint64) bool {
 			c.RIP = next
 			c.trap = Trap{Kind: TrapIRQ, RIP: c.RIP, NextRIP: next}
 			return false
+		}
+	case PROFCNT:
+		// Marker-to-marker attribution. The mark is taken CostLoad early so
+		// each block's own instrumentation prologue LOAD64 (always an L1-hit
+		// direct-map access: exactly CostLoad, no TLB charge) is attributed
+		// to the block it opens, not the block it closes — preserving the
+		// per-entry deltas of the old dispatcher-side profiler.
+		m := c.Stats.Cycles - CostLoad
+		if c.profLast >= 0 {
+			c.Prof[c.profLast].Cycles += m - c.profMark
+		}
+		c.profLast = int32(inst.Imm)
+		c.profMark = m
+		c.Prof[inst.Imm].Runs++
+		if c.TraceBlock != nil {
+			c.TraceBlock()
 		}
 	case LEA:
 		R[inst.Rd] = c.ea(inst.M)

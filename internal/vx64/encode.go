@@ -116,6 +116,8 @@ func Encode(buf []byte, inst *Inst) []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(inst.Imm)))
 	case JMP, CALL:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(inst.Imm)))
+	case PROFCNT:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(inst.Imm))
 	case HELPER:
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(inst.Imm))
 	case TRAP:
@@ -273,6 +275,12 @@ func Decode(buf []byte, off int) (Inst, int, error) {
 	case JMP, CALL:
 		if err = need(4); err == nil {
 			inst.Imm = int64(int32(binary.LittleEndian.Uint32(buf[i:])))
+			i += 4
+		}
+	case PROFCNT:
+		// Zero-extended: Imm is a profile-arena slot index, never negative.
+		if err = need(4); err == nil {
+			inst.Imm = int64(binary.LittleEndian.Uint32(buf[i:]))
 			i += 4
 		}
 	case HELPER:

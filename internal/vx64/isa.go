@@ -167,6 +167,13 @@ const (
 	// end a superblock — a non-firing check is a straight-line no-op.
 	IRQCHK
 
+	// PROFCNT bumps the per-block profile cell Imm in the CPU's profile
+	// arena (runs + attributed cycles) and fires the block-entry trace hook
+	// when one is installed. It is pure instrumentation: no registers, no
+	// guest-visible state, no memory operand, zero cost — the simulated
+	// cycle model must be bit-identical with and without it.
+	PROFCNT
+
 	opCount // number of opcodes (keep last)
 )
 
@@ -268,7 +275,7 @@ var opNames = [opCount]string{
 	"fld", "fst", "fmovxr", "fmovrx", "fmovxx",
 	"fadd", "fsub", "fmul", "fdiv", "fsqrt", "fmin", "fmax", "fneg", "fabs",
 	"fcmp", "cvtsi2sd", "cvtui2sd", "cvtsd2si", "cvtsd2ui",
-	"irqchk",
+	"irqchk", "profcnt",
 }
 
 // String returns the opcode mnemonic.
@@ -307,6 +314,8 @@ func (i Inst) String() string {
 		return fmt.Sprintf("%s %+d", i.Op, i.Imm)
 	case HELPER:
 		return fmt.Sprintf("helper #%d", i.Imm)
+	case PROFCNT:
+		return fmt.Sprintf("profcnt #%d", i.Imm)
 	case TRAP:
 		return fmt.Sprintf("trap #%d", i.Imm)
 	case INport:
