@@ -9,6 +9,7 @@
 //	captive -image kernel.bin                       # Captive DBT, GA64
 //	captive -image os.bin -guest rv64 -engine qemu  # baseline, RISC-V
 //	captive -demo -engine interp                    # golden model demo
+//	captive -demo -guest rv64 -smp 4                # 4 vCPUs, truly parallel
 //
 // The introspection layer (internal/trace) is surfaced through three flags,
 // none of which moves the simulated clock:
@@ -74,6 +75,7 @@ func main() {
 	ram := flag.Int("ram", 64, "guest RAM in MiB")
 	opt := flag.Int("opt", 4, "offline optimization level (1..4)")
 	demo := flag.Bool("demo", false, "run the bundled demo guest")
+	smp := flag.Int("smp", 1, "number of vCPUs (captive runs them truly parallel; qemu and interp use the deterministic scheduler)")
 	tracePath := flag.String("trace", "", "write the structured event stream to this file (.jsonl text; .bin compact binary)")
 	profile := flag.Int("profile", 0, "print the top-N hot blocks by attributed sim deci-cycles (DBT engines)")
 	metricsOut := flag.Bool("metrics", false, "print the unified metrics snapshot as JSON after the run")
@@ -117,10 +119,141 @@ func main() {
 	}
 
 	obs := observeOpts{tracePath: *tracePath, profile: *profile, metrics: *metricsOut}
-	if err := run(gp, level, *engine, image, *load, *entry, *ram<<20, obs); err != nil {
-		fmt.Fprintln(os.Stderr, "captive:", err)
+	var runErr error
+	if *smp > 1 {
+		runErr = runSMP(gp, level, *engine, image, *load, *entry, *ram<<20, *smp, obs)
+	} else {
+		runErr = run(gp, level, *engine, image, *load, *entry, *ram<<20, obs)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "captive:", runErr)
 		os.Exit(1)
 	}
+}
+
+// runSMP executes the image on n vCPUs sharing one guest RAM and device
+// bus. Every hart enters the image at the same entry point and dispatches
+// on its hart ID (mhartid / MPIDR). The Captive engine runs the harts truly
+// parallel (one goroutine each, stop-the-world for shared translation
+// state); the QEMU baseline and the interpreter cluster run under the
+// deterministic round-robin scheduler. The trace recorder, profile and
+// metrics flags observe vCPU 0.
+func runSMP(gp port.Port, level ssa.OptLevel, engine string, image []byte, load, entry uint64, ramBytes, n int, obs observeOpts) error {
+	module, err := gp.Module(level)
+	if err != nil {
+		return err
+	}
+	rec, traceFile, err := obs.openTrace()
+	if err != nil {
+		return err
+	}
+	closeTrace := func() error {
+		if rec == nil {
+			return nil
+		}
+		err := rec.Close()
+		if cerr := traceFile.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	const quantum = 512
+
+	if engine == "interp" {
+		cl := interp.NewCluster(gp, module, ramBytes, n)
+		cl.Machines[0].SetTrace(rec)
+		if err := cl.Machines[0].LoadImage(image, load, entry); err != nil {
+			return err
+		}
+		for _, m := range cl.Machines[1:] {
+			m.SetPC(entry)
+		}
+		if err := cl.RunDet(uint64(n)*4_000_000_000, quantum); err != nil {
+			return err
+		}
+		if err := closeTrace(); err != nil {
+			return err
+		}
+		if out := cl.Console(); out != "" {
+			fmt.Print(out)
+		}
+		fmt.Printf("\n--- %s/interp x%d halted=%v ---\n", module.Arch, n, cl.Halted())
+		for i, m := range cl.Machines {
+			fmt.Printf("hart %d: %12d guest instructions (exit=%d)\n", i, m.Instrs, m.ExitCode)
+		}
+		if obs.metrics {
+			return printMetricsJSON(cl.Machines[0].Metrics())
+		}
+		return nil
+	}
+
+	vm, err := hvm.New(hvm.Config{
+		GuestRAMBytes:  ramBytes,
+		CodeCacheBytes: 16 << 20,
+		PTPoolBytes:    4 << 20,
+		VCPUs:          n,
+	})
+	if err != nil {
+		return err
+	}
+	var s *core.SMP
+	switch engine {
+	case "captive":
+		s, err = core.NewSMP(vm, gp, module)
+	case "qemu":
+		s, err = core.NewSMPQEMU(vm, gp, module)
+	default:
+		return fmt.Errorf("unknown engine %q", engine)
+	}
+	if err != nil {
+		return err
+	}
+	s.VCPU(0).SetTrace(rec)
+	if err := s.VCPU(0).LoadImage(image, load, entry); err != nil {
+		return err
+	}
+	for i := 1; i < n; i++ {
+		s.VCPU(i).SetPC(entry)
+	}
+	budget := uint64(3_500_000_000_0) * 100
+	if engine == "captive" {
+		err = s.RunParallel(budget)
+	} else {
+		err = s.RunDet(budget, quantum)
+	}
+	if err != nil && err != core.ErrBudget {
+		return err
+	}
+	if err := closeTrace(); err != nil {
+		return err
+	}
+	if out := s.Console(); out != "" {
+		fmt.Print(out)
+	}
+	halted, _ := s.Halted()
+	fmt.Printf("\n--- %s/%s x%d halted=%v ---\n", module.Arch, engine, n, halted)
+	var total uint64
+	for i := 0; i < n; i++ {
+		e := s.VCPU(i)
+		_, code := e.Halted()
+		fmt.Printf("hart %d: %12d guest instructions (exit=%d)\n", i, e.GuestInstrs(), code)
+		total += e.GuestInstrs()
+	}
+	fmt.Printf("total:  %12d guest instructions\n", total)
+	if obs.profile > 0 {
+		prof := s.VCPU(0).ProfileSnapshot()
+		fmt.Printf("hot blocks of hart 0 (top %d of %d, by attributed sim deci-cycles):\n", obs.profile, len(prof))
+		for i, bp := range prof {
+			if i >= obs.profile {
+				break
+			}
+			fmt.Printf("  %#10x  %12d cycles  %10d runs\n", bp.PC, bp.Cycles, bp.Runs)
+		}
+	}
+	if obs.metrics {
+		return printMetricsJSON(s.VCPU(0).Metrics())
+	}
+	return nil
 }
 
 // run executes the image on the selected engine and prints the report.

@@ -260,6 +260,13 @@ func GuestMIPS(short bool) (*MIPSReport, error) {
 			rep.Rows = append(rep.Rows, row)
 		}
 	}
+	for _, n := range smpScalingCounts(short) {
+		row, err := runRV64SMPMIPS(n, smpScalingIters(short), opt)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
 	return rep, nil
 }
 

@@ -58,8 +58,11 @@ type cacheKey struct {
 }
 
 type codeCache struct {
-	phys    vx64.PhysMem
-	cpu     *vx64.CPU
+	phys vx64.PhysMem
+	// cpus are every host CPU executing out of this cache (one per vCPU):
+	// code invalidations are shootdowns, clearing each CPU's decode caches
+	// and superblock generation counters.
+	cpus    []*vx64.CPU
 	base    uint64 // physical base of the cache region
 	size    uint64
 	next    uint64 // bump allocator offset
@@ -68,11 +71,18 @@ type codeCache struct {
 	Flushes uint64
 }
 
-func newCodeCache(phys vx64.PhysMem, cpu *vx64.CPU, base, size uint64) *codeCache {
+func newCodeCache(phys vx64.PhysMem, cpus []*vx64.CPU, base, size uint64) *codeCache {
 	return &codeCache{
-		phys: phys, cpu: cpu, base: base, size: size,
+		phys: phys, cpus: cpus, base: base, size: size,
 		blocks: make(map[cacheKey]*Block),
 		byPage: make(map[uint64][]*Block),
+	}
+}
+
+// invalidateCode broadcasts a code-region invalidation to every host CPU.
+func (c *codeCache) invalidateCode(pa, size uint64) {
+	for _, cpu := range c.cpus {
+		cpu.InvalidateCode(pa, size)
 	}
 }
 
@@ -143,7 +153,7 @@ func (c *codeCache) flushAll() {
 	c.byPage = make(map[uint64][]*Block)
 	c.next = 0
 	c.Flushes++
-	c.cpu.InvalidateCode(c.base, c.size)
+	c.invalidateCode(c.base, c.size)
 }
 
 // hvmDirect converts a physical address to its direct-map VA. (Local copy

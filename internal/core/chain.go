@@ -82,7 +82,7 @@ func (c *codeCache) chain(b *Block, exitIdx int, to *Block, pc uint64) bool {
 	tr := vx64.Inst{Op: vx64.TRAP, Imm: dispatchTrapVec}
 	tb := vx64.Encode(nil, &tr)
 	copy(c.phys[next:], tb)
-	c.cpu.InvalidateCode(e.EpiPA, epilogueSize)
+	c.invalidateCode(e.EpiPA, epilogueSize)
 
 	e.Slots = append(e.Slots, chainSlot{target: pc, blk: to})
 	to.incoming = append(to.incoming, patchRef{from: b, exit: exitIdx})
@@ -96,7 +96,7 @@ func (c *codeCache) unchain(b *Block, exitIdx int) {
 		return
 	}
 	writeEpilogue(c.phys, e.EpiPA)
-	c.cpu.InvalidateCode(e.EpiPA, epilogueSize)
+	c.invalidateCode(e.EpiPA, epilogueSize)
 	e.Slots = nil
 }
 

@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"captive/internal/gen"
@@ -69,14 +71,24 @@ type Stats struct {
 	TransFlushes   uint64 // guest TLB flush / regime changes
 }
 
-// Engine is the Captive execution engine for one guest machine (or, with
-// Kind == BackendQEMU, the QEMU-style baseline).
+// Engine is the Captive execution engine for one guest vCPU (or, with
+// Kind == BackendQEMU, the QEMU-style baseline). A uniprocessor machine is
+// one Engine; an SMP machine is N engines over one shared struct (smp.go).
 type Engine struct {
 	vm     *hvm.VM
 	cpu    *vx64.CPU
 	module *gen.Module
 	guest  port.Port
 	sys    port.Sys
+
+	// id is this vCPU's hart index; sh the machine-shared translation and
+	// clock state (one engine per entry of sh.engines).
+	id int
+	sh *shared
+
+	// Per-vCPU state-page and register-file placement (hvm.Layout.*Of(id)).
+	statePA   uint64
+	regFilePA uint64
 
 	// Kind selects the Captive design or the QEMU-baseline design.
 	Kind BackendKind
@@ -88,11 +100,6 @@ type Engine struct {
 	// rec is the attached trace recorder; nil (the default) records
 	// nothing, and every emission site is a nil compare in that state.
 	rec *trace.Recorder
-	// profPC maps profile-arena slots (the PROFCNT Imm of each translated
-	// block, one slot per translation) to the block's guest PC at
-	// translation time. ProfileSnapshot aggregates by PC so retranslations
-	// of the same block merge.
-	profPC []uint64
 
 	// softTLBOff is the R13-relative offset of the baseline's softmmu TLB.
 	softTLBOff int32
@@ -117,28 +124,25 @@ type Engine struct {
 	iTLB     [itlbSize]itlbEntry
 	iTLBOver map[uint64]itlbEntry
 
-	// exitByPA resolves a dispatch-TRAP physical address to the block exit
-	// it belongs to: an offset-indexed slice over the code region (1+index
-	// into exitArena; 0 = none), replacing a map probe on every dispatch
-	// loop. exitOffs records the registered offsets so flushTranslations
-	// resets only those slots instead of memclearing the whole region
-	// (the QEMU baseline flushes on every guest translation change).
-	exitByPA   []int32
-	exitArena  []exitRef
-	exitOffs   []uint64
-	allChained []exitRef
+	// lastExit is the most recent dispatch-TRAP exit (an index into the
+	// shared exit tables, see shared.exitByPA in smp.go).
 	lastExit   exitRef
 	lastExitOK bool
 
 	halted   bool
 	exitCode uint64
 
-	// idleOff is the virtual time skipped while idling in wfi: with no
-	// interrupt deliverable but the timer armed, the hart sleeps to the
-	// compare deadline instead of burning instructions. It is part of the
-	// guest-visible virtual clock (VirtualTime), never of the simulated
-	// host clock.
-	idleOff uint64
+	// waiting marks a hart parked in wfi under the deterministic SMP
+	// scheduler (N > 1 only; a uniprocessor wfi idle-skips or halts).
+	waiting bool
+	// sliceEnd is the retired-instruction count at which the current
+	// deterministic-scheduler slice ends (^0 outside runSlice); refreshIRQ
+	// folds it into the block-entry deadline.
+	sliceEnd uint64
+	// pubInstrs is this hart's retire count as last published at a
+	// dispatcher checkpoint — what siblings (and the device bus) read in
+	// parallel mode instead of racing on the live state page.
+	pubInstrs atomic.Uint64
 
 	// regfile layout shortcuts
 	pcOff   int
@@ -170,19 +174,36 @@ type exitRef struct {
 // New creates a Captive engine inside the given host VM, executing the
 // guest architecture described by g. module must be a module built by (or
 // compatible with) g.Module — difftest and the benchmarks build modules per
-// offline level and pass them in directly.
+// offline level and pass them in directly. The VM must be a single-vCPU
+// layout; multi-vCPU machines go through NewSMP.
 func New(vm *hvm.VM, g port.Port, module *gen.Module) (*Engine, error) {
+	if len(vm.CPUs) != 1 {
+		return nil, fmt.Errorf("core: New on a %d-vCPU VM; use NewSMP", len(vm.CPUs))
+	}
+	engines, err := newEngines(vm, g, module)
+	if err != nil {
+		return nil, err
+	}
+	return engines[0], nil
+}
+
+// newEngine creates the engine for vCPU id over the machine-shared state.
+func newEngine(vm *hvm.VM, g port.Port, module *gen.Module, id int, sh *shared) (*Engine, error) {
 	if module.Layout.Size > 0x1000 {
 		return nil, fmt.Errorf("core: register file (%d bytes) exceeds its page", module.Layout.Size)
 	}
+	l := vm.Layout
 	e := &Engine{
-		vm: vm, cpu: vm.CPU, module: module, guest: g, sys: g.NewSys(),
-		exitByPA: make([]int32, vm.Layout.CodeSize),
+		vm: vm, cpu: vm.CPUs[id], module: module, guest: g, sys: g.NewSys(),
+		id: id, sh: sh,
+		statePA:   l.StatePAOf(id),
+		regFilePA: l.RegFilePAOf(id),
+		sliceEnd:  ^uint64(0),
 	}
 	e.clearITLB()
-	l := vm.Layout
-	e.mmu = newHostMMU(vm.Phys, vm.CPU, l.PTPoolPA, l.PTPoolSize)
-	e.cache = newCodeCache(vm.Phys, vm.CPU, l.CodePA, l.CodeSize)
+	poolBase, poolSize := l.PTPoolOf(id)
+	e.mmu = newHostMMU(vm.Phys, e.cpu, poolBase, poolSize)
+	e.cache = sh.cache
 
 	banks := g.Banks()
 	e.pcOff = module.Layout.PCOffset
@@ -197,33 +218,27 @@ func New(vm *hvm.VM, g port.Port, module *gen.Module) (*Engine, error) {
 		CycleCount:         e.VirtualTime,
 		TranslationChanged: e.translationChanged,
 		TimerLine:          e.timerLine,
+		SoftLine:           e.softLine,
+		HartID:             id,
 	}
-	// The device bus ticks on the same virtual clock the guest reads
-	// through CNTVCT/time: retired instructions, not simulated host cycles.
-	// Host cycles are engine-dependent (dispatch and JIT charges differ by
-	// backend), so a timer driven by them would fire at different guest
-	// instructions on different engines; the virtual clock makes interrupt
-	// arrival bit-identical everywhere.
-	vm.Bus.Cycles = e.VirtualTime
 
 	// Pin the fixed registers (package comment of emitter.go).
 	cpu := e.cpu
-	cpu.R[vx64.RSTA] = hvm.DirectVA(l.StatePA)
-	cpu.R[vx64.RRF] = hvm.DirectVA(l.RegFilePA)
-	cpu.R[vx64.RSP] = hvm.DirectVA(l.StackTopPA)
+	cpu.R[vx64.RSTA] = hvm.DirectVA(e.statePA)
+	cpu.R[vx64.RRF] = hvm.DirectVA(e.regFilePA)
+	cpu.R[vx64.RSP] = hvm.DirectVA(l.StackTopOf(id))
 	cpu.R[vx64.R10] = hvm.LowHalfMask
 	cpu.R[vx64.R9] = 0
 	cpu.SetCR3(e.mmu.rootCR3(0), true)
 
 	e.registerHelpers()
-	e.refreshIRQ()
 	return e, nil
 }
 
 // --- guest state access -------------------------------------------------------
 
 func (e *Engine) regfile() []byte {
-	pa := e.vm.Layout.RegFilePA
+	pa := e.regFilePA
 	return e.vm.Phys[pa : pa+uint64(e.module.Layout.Size)]
 }
 
@@ -268,17 +283,43 @@ func (e *Engine) Halted() (bool, uint64) { return e.halted, e.exitCode }
 // GuestInstrs returns the number of retired guest instructions (maintained
 // by the instrumentation prologue of every translated block).
 func (e *Engine) GuestInstrs() uint64 {
-	return e.vm.Phys.R64(e.vm.Layout.StatePA + hvm.StateICount)
+	return e.vm.Phys.R64(e.statePA + hvm.StateICount)
 }
 
 // VirtualTime returns the guest-visible virtual counter: retired guest
-// instructions plus the time skipped while idle in wfi. Unlike the simulated
-// host clock (deci-cycles, which embed engine-specific dispatch and JIT
-// charges), this clock advances identically across all three engines — it is
-// what the timer compares against and what CNTVCT/time read.
-func (e *Engine) VirtualTime() uint64 { return e.GuestInstrs() + e.idleOff }
+// instructions (summed across every hart of the machine) plus the time
+// skipped while idle in wfi. Unlike the simulated host clock (deci-cycles,
+// which embed engine-specific dispatch and JIT charges), this clock advances
+// identically across all three engines — it is what the timer compares
+// against and what CNTVCT/time read. In parallel mode, sibling counts come
+// from their checkpoint-published values; the live state page of a running
+// sibling is never read.
+func (e *Engine) VirtualTime() uint64 {
+	sh := e.sh
+	var sum uint64
+	if sh.parallel {
+		for _, eng := range sh.engines {
+			if eng == e {
+				sum += eng.GuestInstrs()
+			} else {
+				sum += eng.pubInstrs.Load()
+			}
+		}
+	} else {
+		for _, eng := range sh.engines {
+			sum += eng.GuestInstrs()
+		}
+	}
+	return sum + sh.idleOff
+}
 
-func (e *Engine) timerLine() bool { return e.vm.Bus.IRQPending() }
+// timerLine is the level of this hart's timer interrupt input: only hart 0
+// is wired to the machine timer (the uniprocessor case is unchanged — its
+// one hart is hart 0).
+func (e *Engine) timerLine() bool { return e.id == 0 && e.vm.Bus.IRQPending() }
+
+// softLine is the level of this hart's software-interrupt (IPI) input.
+func (e *Engine) softLine() bool { return e.vm.Bus.SoftPending(e.id) }
 
 // refreshIRQ recomputes the block-entry interrupt deadline (the StateIRQDl
 // state-page slot read by the IRQCHK instruction in every block's
@@ -289,17 +330,25 @@ func (e *Engine) timerLine() bool { return e.vm.Bus.IRQPending() }
 // reached — an IRQCHK trap that did not end in delivery would re-enter the
 // same block and trap again forever.
 func (e *Engine) refreshIRQ() {
-	line := e.vm.Bus.IRQPending()
+	line := e.timerLine()
 	dl := ^uint64(0)
 	if e.sys.PendingIRQ(line, &e.hooks) {
 		dl = 0
-	} else if !line && e.vm.Bus.TimerEnable && e.sys.PendingIRQ(true, &e.hooks) {
-		// Armed and deliverable once it fires: the line rises at virtual
-		// time TimerCmpVal, i.e. at retired count TimerCmpVal - idleOff
-		// (no underflow: line low means the count is still below that).
-		dl = e.vm.Bus.TimerCmpVal - e.idleOff
+	} else if !line && e.id == 0 {
+		if cmp, armed := e.vm.Bus.TimerState(); armed && e.sys.PendingIRQ(true, &e.hooks) {
+			// Armed and deliverable once it fires: the line rises at
+			// virtual time cmp. In this hart's own retired-count units
+			// that is cmp minus everything else on the virtual clock —
+			// the siblings' retire counts and the idle skip (for a
+			// uniprocessor: cmp - idleOff exactly as before). No
+			// underflow: line low means VirtualTime is still below cmp.
+			dl = cmp - (e.VirtualTime() - e.GuestInstrs())
+		}
 	}
-	e.vm.Phys.W64(e.vm.Layout.StatePA+hvm.StateIRQDl, dl)
+	if e.sliceEnd < dl {
+		dl = e.sliceEnd
+	}
+	e.vm.Phys.W64(e.statePA+hvm.StateIRQDl, dl)
 }
 
 // Console returns the guest UART output.
@@ -353,11 +402,13 @@ func (e *Engine) translationChanged() {
 	}
 	e.cpu.Stats.Cycles += costInvalidateTr
 	e.mmu.InvalidateGuestMappings()
-	for _, ref := range e.allChained {
+	// Chain links compare guest PCs, so a regime change on any hart drops
+	// them all (SMP machines never install any: chaining is off for N > 1).
+	for _, ref := range e.sh.allChained {
 		e.rec.Emit(trace.ChainUnpatch, 0, e.VirtualTime(), 0, ref.blk.GPA)
 		e.cache.unchain(ref.blk, ref.idx)
 	}
-	e.allChained = e.allChained[:0]
+	e.sh.allChained = e.sh.allChained[:0]
 }
 
 // clearITLB invalidates the fetch-translation cache (array and overflow).
@@ -428,82 +479,99 @@ func (e *Engine) Run(budget uint64) error {
 		if e.cpu.Stats.Cycles >= limit {
 			return ErrBudget
 		}
-		e.Stats.DispatchLoops++
-		if e.Kind == BackendQEMU {
-			e.cpu.Stats.Cycles += costQDispatch
-		} else {
-			e.cpu.Stats.Cycles += costDispatch
-		}
-
-		pc := e.PC()
-		// Interrupt delivery point: every dispatcher entry is a block
-		// boundary, so the interrupted PC (the preferred return address) is
-		// always a block start — the same boundary the interpreter and the
-		// IRQCHK prologue check observe, which is what pins delivery to the
-		// same retired-instruction count on every engine.
-		if line := e.vm.Bus.IRQPending(); e.sys.PendingIRQ(line, &e.hooks) {
-			e.rec.Emit(trace.IRQ, boolArg(line), e.VirtualTime(), pc, 0)
-			e.Stats.IRQsDelivered++
-			e.cpu.Stats.Cycles += costInjectExc
-			entry := e.sys.TakeIRQ(pc, line, e.NZCV(), &e.hooks)
-			if entry.Halt {
-				e.halted = true
-				e.exitCode = entry.Code
-				continue
-			}
-			e.SetPC(entry.PC)
-			pc = entry.PC
-			e.refreshIRQ()
-		}
-		el := e.sys.EL()
-		if e.Kind == BackendQEMU && el != e.lastEL {
-			// The baseline keeps one softmmu TLB: privilege changes flush
-			// it (QEMU proper avoids this with per-mmu-index TLBs).
-			e.flushSoftTLB()
-			e.cpu.Stats.Cycles += costSoftTLBFlush
-			e.lastEL = el
-		}
-		gpa, ok := e.translatePC(pc)
-		if !ok {
-			continue // abort injected; dispatch the handler
-		}
-		key := gpa
-		if e.Kind == BackendQEMU {
-			key = pc
-		}
-		blk := e.cache.lookup(key, el)
-		if blk == nil {
-			var err error
-			blk, err = e.translateBlock(pc, gpa, el)
-			if err != nil {
-				return err
-			}
-		}
-		// Chain the previous block's exit to this one (§2.6): install a
-		// PC-compare slot so the transition bypasses the dispatcher.
-		if e.lastExitOK && !e.ChainingOff {
-			le := e.lastExit
-			// The baseline only chains direct-branch exits (TCG's goto_tb);
-			// indirect control flow re-enters its dispatcher every time.
-			if le.blk.Valid && le.blk.EL == el &&
-				(e.Kind != BackendQEMU || le.blk.DirectExit) {
-				if e.cache.chain(le.blk, le.idx, blk, pc) {
-					e.allChained = append(e.allChained, le)
-					e.Stats.BlockChains++
-					e.rec.Emit(trace.ChainPatch, 0, e.VirtualTime(), pc, le.blk.GPA)
-				}
-			}
-		}
-		e.lastExitOK = false
-
-		if err := e.execute(blk, pc, el, limit); err != nil {
+		if err := e.dispatchOnce(limit); err != nil {
 			return err
 		}
-		// Control is back in the dispatcher: close the open profile
-		// interval so dispatch, translation and injection costs are never
-		// attributed to a guest block.
-		e.cpu.ProfPause()
 	}
+	return nil
+}
+
+// dispatchOnce is one dispatcher iteration: interrupt delivery, block
+// lookup/translation, chaining, and execution until the next trap back.
+// In parallel SMP mode this is the unit between stop-the-world checkpoints.
+func (e *Engine) dispatchOnce(limit uint64) error {
+	e.Stats.DispatchLoops++
+	if e.Kind == BackendQEMU {
+		e.cpu.Stats.Cycles += costQDispatch
+	} else {
+		e.cpu.Stats.Cycles += costDispatch
+	}
+
+	pc := e.PC()
+	// Interrupt delivery point: every dispatcher entry is a block
+	// boundary, so the interrupted PC (the preferred return address) is
+	// always a block start — the same boundary the interpreter and the
+	// IRQCHK prologue check observe, which is what pins delivery to the
+	// same retired-instruction count on every engine.
+	if line := e.timerLine(); e.sys.PendingIRQ(line, &e.hooks) {
+		e.rec.Emit(trace.IRQ, boolArg(line), e.VirtualTime(), pc, 0)
+		e.Stats.IRQsDelivered++
+		e.cpu.Stats.Cycles += costInjectExc
+		entry := e.sys.TakeIRQ(pc, line, e.NZCV(), &e.hooks)
+		if entry.Halt {
+			e.halted = true
+			e.exitCode = entry.Code
+			return nil
+		}
+		e.SetPC(entry.PC)
+		pc = entry.PC
+		e.refreshIRQ()
+	}
+	el := e.sys.EL()
+	if e.Kind == BackendQEMU && el != e.lastEL {
+		// The baseline keeps one softmmu TLB: privilege changes flush
+		// it (QEMU proper avoids this with per-mmu-index TLBs).
+		e.flushSoftTLB()
+		e.cpu.Stats.Cycles += costSoftTLBFlush
+		e.lastEL = el
+	}
+	gpa, ok := e.translatePC(pc)
+	if !ok {
+		return nil // abort injected; dispatch the handler
+	}
+	key := gpa
+	if e.Kind == BackendQEMU {
+		key = pc
+	}
+	blk := e.cache.lookup(key, el)
+	if blk == nil {
+		// Translation mutates the shared cache and exit tables: in
+		// parallel mode it runs with every sibling parked (a concurrent
+		// translator may install the same key first — re-probe inside).
+		var err error
+		e.sh.exclusive(e, func() {
+			if blk = e.cache.lookup(key, el); blk == nil {
+				blk, err = e.translateBlock(pc, gpa, el)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Chain the previous block's exit to this one (§2.6): install a
+	// PC-compare slot so the transition bypasses the dispatcher.
+	if e.lastExitOK && !e.ChainingOff {
+		le := e.lastExit
+		// The baseline only chains direct-branch exits (TCG's goto_tb);
+		// indirect control flow re-enters its dispatcher every time.
+		if le.blk.Valid && le.blk.EL == el &&
+			(e.Kind != BackendQEMU || le.blk.DirectExit) {
+			if e.cache.chain(le.blk, le.idx, blk, pc) {
+				e.sh.allChained = append(e.sh.allChained, le)
+				e.Stats.BlockChains++
+				e.rec.Emit(trace.ChainPatch, 0, e.VirtualTime(), pc, le.blk.GPA)
+			}
+		}
+	}
+	e.lastExitOK = false
+
+	if err := e.execute(blk, pc, el, limit); err != nil {
+		return err
+	}
+	// Control is back in the dispatcher: close the open profile
+	// interval so dispatch, translation and injection costs are never
+	// attributed to a guest block.
+	e.cpu.ProfPause()
 	return nil
 }
 
@@ -552,9 +620,9 @@ func (e *Engine) execute(blk *Block, pc uint64, el uint8, limit uint64) error {
 				// Normal exit to dispatcher.
 				e.rec.Emit(trace.BlockExit, 0, e.VirtualTime(), cpu.R[vx64.RPC], 0)
 				e.SetPC(cpu.R[vx64.RPC])
-				if off := e.trapPA(trap) - e.vm.Layout.CodePA; off < uint64(len(e.exitByPA)) {
-					if id := e.exitByPA[off]; id != 0 {
-						e.lastExit = e.exitArena[id-1]
+				if off := e.trapPA(trap) - e.vm.Layout.CodePA; off < uint64(len(e.sh.exitByPA)) {
+					if id := e.sh.exitByPA[off]; id != 0 {
+						e.lastExit = e.sh.exitArena[id-1]
 						e.lastExitOK = true
 					}
 				}
@@ -658,11 +726,20 @@ func (e *Engine) handleHostFault(trap vx64.Trap) (bool, error) {
 	gpaPage := gpa >> 12
 	if write && e.mmu.isProtected(gpaPage) {
 		// Self-modifying code: drop the page's translations, lift the
-		// protection and retry the store (§2.6).
+		// protection on every hart and retry the store (§2.6). The
+		// invalidation is a shootdown — it clears every sibling's decode
+		// caches and superblock generations, so it runs with siblings
+		// parked in parallel mode; a sibling's stale read-only mapping
+		// re-faults once, sees the page unprotected and reinstalls
+		// writable.
 		e.rec.Emit(trace.SMCInval, 0, e.VirtualTime(), guestPC, gpaPage<<12)
 		e.Stats.SMCInvals++
-		e.cache.invalidatePage(gpaPage)
-		e.mmu.unprotect(gpaPage)
+		e.sh.exclusive(e, func() {
+			e.cache.invalidatePage(gpaPage)
+			for _, eng := range e.sh.engines {
+				eng.mmu.unprotect(gpaPage)
+			}
+		})
 		e.mmu.install(e.curMode, va&^uint64(0xFFF), gpaPage<<12, w.Write, w.User)
 		return false, nil
 	}
@@ -738,11 +815,11 @@ func (e *Engine) emulateMMIO(trap vx64.Trap, gpa uint64) error {
 // --- helpers -------------------------------------------------------
 
 func (e *Engine) stateSlot(off int64) uint64 {
-	return e.vm.Phys.R64(e.vm.Layout.StatePA + uint64(off))
+	return e.vm.Phys.R64(e.statePA + uint64(off))
 }
 
 func (e *Engine) setRet(v uint64) {
-	e.vm.Phys.W64(e.vm.Layout.StatePA+hvm.StateRet, v)
+	e.vm.Phys.W64(e.statePA+hvm.StateRet, v)
 }
 
 func (e *Engine) registerHelpers() {
@@ -803,29 +880,49 @@ func (e *Engine) registerHelpers() {
 		return vx64.HelperExit
 	}
 	h[hWFI] = func(c *vx64.CPU) vx64.HelperAction {
-		line := e.vm.Bus.IRQPending()
+		line := e.timerLine()
 		if e.sys.WFIWake(line, &e.hooks) {
 			// A source is pending and enabled: wfi completes as a nop.
 			// The block's tail advances the PC past it and exits to the
 			// dispatcher, which delivers if the global mask allows.
 			return vx64.HelperContinue
 		}
-		if e.vm.Bus.TimerEnable && e.sys.WFIWake(true, &e.hooks) {
-			if dl := e.vm.Bus.TimerCmpVal; dl > e.VirtualTime() {
-				// The timer is armed and its interrupt enabled: skip
-				// virtual time forward to the deadline instead of
-				// spinning, then resume (the line is high now).
-				skipped := dl - e.VirtualTime()
-				e.rec.Emit(trace.WFIIdle, 0, e.VirtualTime(), c.R[vx64.RPC], skipped)
-				e.idleOff += skipped
-				e.refreshIRQ()
-				return vx64.HelperContinue
-			}
+		if e.sh.parallel {
+			// A sibling may raise this hart's IPI line at any moment:
+			// treat wfi as the architecturally-allowed spurious wakeup
+			// and retry through the dispatcher (bounded by the caller's
+			// cycle budget). Virtual time cannot be skipped here — the
+			// siblings are advancing it concurrently.
+			runtime.Gosched()
+			return vx64.HelperContinue
 		}
-		// No enabled source can ever wake the hart: halt cleanly (exit
-		// code 0, the same resting state the interpreter reports).
-		e.halted = true
-		e.exitCode = 0
+		if len(e.sh.engines) == 1 {
+			if cmp, armed := e.vm.Bus.TimerState(); armed && e.sys.WFIWake(true, &e.hooks) {
+				if cmp > e.VirtualTime() {
+					// The timer is armed and its interrupt enabled: skip
+					// virtual time forward to the deadline instead of
+					// spinning, then resume (the line is high now).
+					skipped := cmp - e.VirtualTime()
+					e.rec.Emit(trace.WFIIdle, 0, e.VirtualTime(), c.R[vx64.RPC], skipped)
+					e.sh.idleOff += skipped
+					e.refreshIRQ()
+					return vx64.HelperContinue
+				}
+			}
+			// No enabled source can ever wake the hart: halt cleanly (exit
+			// code 0, the same resting state the interpreter reports).
+			e.halted = true
+			e.exitCode = 0
+			return vx64.HelperExit
+		}
+		// Deterministic SMP: park. The scheduler (internal/smp) wakes the
+		// hart when a source becomes pending-and-enabled, performs the
+		// global idle skip only when every runnable hart is parked, and
+		// settles the machine when nothing can ever wake it. The PC is
+		// rewound to the wfi itself so the wake re-executes it (and
+		// completes it as a nop, now that the wake condition holds).
+		e.waiting = true
+		e.SetPC(c.R[vx64.RPC])
 		return vx64.HelperExit
 	}
 	h[hUndef] = func(c *vx64.CPU) vx64.HelperAction {

@@ -49,7 +49,7 @@ func (e *Engine) ProfileSnapshot() []BlockProfile {
 	e.cpu.ProfPause()
 	agg := make(map[uint64]int)
 	var out []BlockProfile
-	for slot, pc := range e.profPC {
+	for slot, pc := range e.sh.profPC {
 		cell := e.cpu.Prof[slot]
 		if cell.Runs == 0 && cell.Cycles == 0 {
 			continue

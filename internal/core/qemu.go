@@ -65,14 +65,14 @@ func NewQEMU(vm *hvm.VM, g port.Port, module *gen.Module) (*Engine, error) {
 	}
 	e.Kind = BackendQEMU
 	e.SoftFP = true
-	e.softTLBOff = int32(vm.Layout.PTPoolPA - vm.Layout.StatePA)
+	e.softTLBOff = int32(vm.Layout.SoftTLBOf(0) - e.statePA)
 	e.flushSoftTLB()
 	return e, nil
 }
 
-// softTLBEntryPA returns the physical address of entry i.
+// softTLBEntryPA returns the physical address of this vCPU's entry i.
 func (e *Engine) softTLBEntryPA(i int) uint64 {
-	return e.vm.Layout.StatePA + uint64(e.softTLBOff) + uint64(i)*softTLBStride
+	return e.statePA + uint64(e.softTLBOff) + uint64(i)*softTLBStride
 }
 
 // flushSoftTLB invalidates every softmmu entry.
@@ -117,7 +117,12 @@ func (e *Emitter) emitSoftMMU(width uint8, addr gen.Val, write bool, storeVal ge
 		MIndexV: idx})
 	page := e.newG()
 	e.emitPure(vx64.Inst{Op: vx64.MOVrr, Rd: page, Rs: a})
-	e.emitPure(vx64.Inst{Op: vx64.ANDri, Rd: page, Imm: -4096})
+	// The mask keeps the low alignment bits alive: a misaligned access (any
+	// bit of width-1 set) can never equal the page-aligned tag and always
+	// takes the slow path, which handles page-crossing correctly. The fast
+	// path would apply the first page's addend to bytes that belong to the
+	// next page.
+	e.emitPure(vx64.Inst{Op: vx64.ANDri, Rd: page, Imm: -4096 | int64(width-1)})
 	e.emit(vx64.Inst{Op: vx64.CMPrr, Rd: tag, Rs: page})
 
 	dst := e.newG()
@@ -189,6 +194,20 @@ func (e *Engine) qemuFill(c *vx64.CPU) vx64.HelperAction {
 		e.raise(port.Exception{Kind: port.ExcDataAbort, Write: write, Addr: va, PC: guestPC})
 		return vx64.HelperExit
 	}
+	// A write crossing into the next page must also be writable there (the
+	// same last-byte check the Captive host CPU performs); reads stay
+	// contiguous from the base translation on every engine.
+	if end := va + uint64(width) - 1; write && width > 1 && (va^end)>>12 != 0 {
+		we := e.guestWalk(end)
+		if !we.OK {
+			e.raise(port.Exception{Kind: port.ExcDataAbort, Translation: true, Write: true, Addr: end, PC: guestPC})
+			return vx64.HelperExit
+		}
+		if !we.CheckAccess(true, e.sys.EL()) {
+			e.raise(port.Exception{Kind: port.ExcDataAbort, Write: true, Addr: end, PC: guestPC})
+			return vx64.HelperExit
+		}
+	}
 	gpa := w.PA
 	if e.guest.IsDevice(gpa) {
 		e.Stats.MMIOEmulations++
@@ -208,11 +227,19 @@ func (e *Engine) qemuFill(c *vx64.CPU) vx64.HelperAction {
 		return vx64.HelperExit
 	}
 	// Self-modifying code: a store into a page with translations flushes
-	// them (QEMU-style dirty tracking).
-	if write && e.cache.pageHasCode(gpa>>12) {
-		e.rec.Emit(trace.SMCInval, 0, e.VirtualTime(), guestPC, gpa&^uint64(0xFFF))
-		e.Stats.SMCInvals++
-		e.cache.invalidatePage(gpa >> 12)
+	// them (QEMU-style dirty tracking). The store is performed contiguously
+	// from gpa, so a page-crossing write dirties the *last* byte's physical
+	// page too — checking only the first page would let stale translations
+	// of the next page keep running.
+	if write {
+		endPage := (gpa + uint64(width) - 1) >> 12
+		for page := gpa >> 12; page <= endPage; page++ {
+			if e.cache.pageHasCode(page) {
+				e.rec.Emit(trace.SMCInval, 0, e.VirtualTime(), guestPC, page<<12)
+				e.Stats.SMCInvals++
+				e.cache.invalidatePage(page)
+			}
+		}
 	}
 	// Fill the TLB entry.
 	vaPage := va &^ uint64(0xFFF)

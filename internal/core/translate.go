@@ -53,9 +53,13 @@ func (e *Engine) translateBlock(pc, gpa uint64, el uint8) (*Block, error) {
 		// IRQCHK aborts retired nothing and must count nothing) and before
 		// the retire-count update (so the trace hook observes the same
 		// virtual time the interpreter stamps its block entries with).
-		em.emit(vx64.Inst{Op: vx64.PROFCNT, Imm: int64(len(e.profPC))})
-		e.profPC = append(e.profPC, pc)
-		e.cpu.Prof = append(e.cpu.Prof, vx64.ProfCell{})
+		em.emit(vx64.Inst{Op: vx64.PROFCNT, Imm: int64(len(e.sh.profPC))})
+		e.sh.profPC = append(e.sh.profPC, pc)
+		// Every hart can execute the shared block, so every hart's profile
+		// arena gains the slot (each counts its own entries).
+		for _, eng := range e.sh.engines {
+			eng.cpu.Prof = append(eng.cpu.Prof, vx64.ProfCell{})
+		}
 		em.emit(vx64.Inst{Op: vx64.ADDri, Rd: ic, Imm: int64(n)})
 		em.emit(vx64.Inst{Op: vx64.STORE64, Rs: ic,
 			M: vx64.Mem{Base: vx64.RSTA, Index: vx64.NoReg, Scale: 1, Disp: hvm.StateICount}})
@@ -106,6 +110,11 @@ func (e *Engine) translateBlock(pc, gpa uint64, el uint8) (*Block, error) {
 	}
 	pa, ok := e.cache.alloc(len(code))
 	if !ok {
+		if e.sh.parallel {
+			// A flush would reuse code space a parked sibling still has a
+			// saved RIP into; parallel runs size the cache to the workload.
+			return nil, fmt.Errorf("core: code cache full under parallel execution")
+		}
 		e.flushTranslations()
 		pa, ok = e.cache.alloc(len(code))
 		if !ok {
@@ -113,7 +122,7 @@ func (e *Engine) translateBlock(pc, gpa uint64, el uint8) (*Block, error) {
 		}
 	}
 	copy(e.vm.Phys[pa:], code)
-	e.cpu.InvalidateCode(pa, uint64(len(code)))
+	e.cache.invalidateCode(pa, uint64(len(code)))
 	e.JIT.EncodeT += time.Since(t3)
 
 	key := gpa
@@ -129,24 +138,32 @@ func (e *Engine) translateBlock(pc, gpa uint64, el uint8) (*Block, error) {
 	}
 	exit := Exit{EpiPA: pa + uint64(labels[epi.id])}
 	blk.Exits = append(blk.Exits, exit)
+	sh := e.sh
 	for _, tp := range blk.Exits[0].trapOffsets() {
-		if off := tp - e.vm.Layout.CodePA; off < uint64(len(e.exitByPA)) {
-			e.exitArena = append(e.exitArena, exitRef{blk: blk, idx: 0})
-			e.exitOffs = append(e.exitOffs, off)
-			e.exitByPA[off] = int32(len(e.exitArena))
+		if off := tp - e.vm.Layout.CodePA; off < uint64(len(sh.exitByPA)) {
+			sh.exitArena = append(sh.exitArena, exitRef{blk: blk, idx: 0})
+			sh.exitOffs = append(sh.exitOffs, off)
+			sh.exitByPA[off] = int32(len(sh.exitArena))
 		}
 	}
 	e.cache.insert(blk)
 
 	// SMC protection: Captive write-protects the source page through the
-	// host MMU (§2.6); the baseline evicts the softmmu write entry for the
+	// host MMU (§2.6) — on *every* hart, since any of them could write the
+	// page; the baseline evicts each hart's softmmu write entry for the
 	// page and relies on slow-path dirty tracking.
 	gpaPage := gpa >> 12
 	if e.Kind == BackendQEMU {
 		idx := int(pc >> 12 & (softTLBSize - 1))
-		e.vm.Phys.W64(e.softTLBEntryPA(idx)+softTLBTagW, ^uint64(0))
-	} else if !e.mmu.isProtected(gpaPage) {
-		e.mmu.protectPage(gpaPage, e.mmu.wasInstalledWritable(gpaPage))
+		for _, eng := range sh.engines {
+			e.vm.Phys.W64(eng.softTLBEntryPA(idx)+softTLBTagW, ^uint64(0))
+		}
+	} else {
+		for _, eng := range sh.engines {
+			if !eng.mmu.isProtected(gpaPage) {
+				eng.mmu.protectPage(gpaPage, eng.mmu.wasInstalledWritable(gpaPage))
+			}
+		}
 	}
 
 	// Charge the translation work to the simulated clock and update stats.
@@ -173,19 +190,22 @@ func (e *Engine) translateBlock(pc, gpa uint64, el uint8) (*Block, error) {
 }
 
 // flushTranslations empties the code cache and every structure referring
-// into it.
+// into it, on every hart sharing it.
 func (e *Engine) flushTranslations() {
+	sh := e.sh
 	e.cache.flushAll()
-	for _, off := range e.exitOffs {
-		e.exitByPA[off] = 0
+	for _, off := range sh.exitOffs {
+		sh.exitByPA[off] = 0
 	}
-	e.exitOffs = e.exitOffs[:0]
-	e.exitArena = e.exitArena[:0]
-	e.allChained = e.allChained[:0]
-	e.lastExitOK = false
+	sh.exitOffs = sh.exitOffs[:0]
+	sh.exitArena = sh.exitArena[:0]
+	sh.allChained = sh.allChained[:0]
 	e.JIT.CacheFlushes++
-	// Protections become stale (no code pages remain).
-	e.mmu.protected = make(map[uint64]bool)
+	for _, eng := range sh.engines {
+		eng.lastExitOK = false
+		// Protections become stale (no code pages remain).
+		eng.mmu.protected = make(map[uint64]bool)
+	}
 }
 
 // encodeLIR encodes allocated LIR into machine code, resolving emitter-block

@@ -130,6 +130,24 @@ var IRQRegressionSeeds = []struct {
 	{783, 200}, {31343, 200},
 }
 
+// SMPRegressionSeeds is the committed corpus of the two-hart SMP lane
+// (CheckSMP): one image dispatched on mhartid, both harts running the user
+// construct set (branches, loops, calls, misaligned and page-straddling
+// accesses, cross-page SMC) over disjoint buffers plus interleaving-
+// sensitive peer loads from the sibling's buffer, all driven by the
+// deterministic round-robin scheduler. Add exposing seeds here when a
+// cross-hart divergence is found and fixed.
+var SMPRegressionSeeds = []struct {
+	Seed int64
+	Ops  int
+}{
+	{1, 40}, {2, 40}, {3, 40}, {4, 40},
+	{5, 80}, {6, 80}, {7, 80}, {8, 80},
+	{9, 120}, {10, 120}, {11, 120}, {12, 120},
+	{0x5EED8001, 100}, {0x5EED8002, 100}, {0x5EED8003, 160}, {0x5EED8004, 160},
+	{785, 200}, {31345, 200},
+}
+
 // RV64IRQRegressionSeeds is the committed corpus of the RV64 interrupt
 // lane (CheckRV64IRQ). Even/odd seeds tend to draw the M-/S-mode body
 // flavours: machine-timer interrupts to mtvec, delegated supervisor

@@ -373,7 +373,7 @@ func GenerateRV64IRQ(seed int64, ops int) (*Program, error) {
 	rng := rand.New(rand.NewSource(seed))
 	p := asm.New(RVOrg)
 	g := &rvIRQGenerator{
-		rvGenerator: rvGenerator{rng: rng, p: p},
+		rvGenerator: rvGenerator{rng: rng, p: p, buf0: RVBuf0, buf1: RVBuf1, stackTop: RVStackTop},
 		super:       rng.Intn(2) == 1,
 		delta:       int32(100 + rng.Intn(900)),
 		limit:       int64(3 + rng.Intn(10)),

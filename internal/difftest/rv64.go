@@ -203,7 +203,7 @@ func MinimizeRV64(p *Program, id EngineID) []uint32 {
 func GenerateRV64(seed int64, ops int) (*Program, error) {
 	rng := rand.New(rand.NewSource(seed))
 	p := asm.New(RVOrg)
-	g := &rvGenerator{rng: rng, p: p}
+	g := &rvGenerator{rng: rng, p: p, buf0: RVBuf0, buf1: RVBuf1, stackTop: RVStackTop}
 
 	g.prologue()
 	for i := 0; i < ops; i++ {
@@ -222,6 +222,11 @@ func GenerateRV64(seed int64, ops int) (*Program, error) {
 type rvGenerator struct {
 	rng *rand.Rand
 	p   *asm.Program
+
+	// buf0/buf1/stackTop parameterize the prologue's memory map so the SMP
+	// lane can give each hart disjoint buffers; peer is the sibling hart's
+	// buffer base (0: no peer-load construct, the uniprocessor lanes).
+	buf0, buf1, stackTop, peer uint64
 
 	labels int
 	fns    []string
@@ -250,12 +255,23 @@ func (g *rvGenerator) src() asm.Reg {
 	return asm.Reg(rvMinDst + g.rng.Intn(rvMaxDst-rvMinDst+1))
 }
 
-// bufAddr picks a base register and an aligned signed 12-bit offset inside
-// the probed data windows.
+// bufAddr picks a base register and a signed 12-bit offset inside the
+// probed data windows. Usually the offset is aligned to the access width,
+// but some draws keep it raw (misaligned accesses take the engines' slow
+// paths) or land it within a word of the page-aligned base (wide accesses
+// then straddle the page boundary — physically contiguous on every engine).
 func (g *rvGenerator) bufAddr(align int32) (asm.Reg, int32) {
 	base := []asm.Reg{rvBase0, rvBase1, asm.SP}[g.rng.Intn(3)]
 	off := int32(g.rng.Intn(1<<12)) - 1<<11 // [-2048, 2047]
-	off &^= align - 1
+	switch g.rng.Intn(8) {
+	case 0:
+		// Misaligned: keep the raw offset.
+	case 1:
+		// Page-straddling: within a word of the base.
+		off = int32(g.rng.Intn(16)) - 8
+	default:
+		off &^= align - 1
+	}
 	return base, off
 }
 
@@ -264,9 +280,9 @@ func (g *rvGenerator) imm12() int32 { return int32(g.rng.Intn(1<<12)) - 1<<11 }
 // prologue seeds every architectural register deterministically.
 func (g *rvGenerator) prologue() {
 	p, rng := g.p, g.rng
-	p.Li(rvBase0, RVBuf0)
-	p.Li(rvBase1, RVBuf1)
-	p.Li(asm.SP, RVStackTop)
+	p.Li(rvBase0, g.buf0)
+	p.Li(rvBase1, g.buf1)
+	p.Li(asm.SP, g.stackTop)
 	p.Li(asm.RA, RVOrg) // defined; overwritten by jal before any ret
 	for r := asm.Reg(rvMinDst); r <= rvMaxDst; r++ {
 		p.Li(r, rng.Uint64()>>(uint(rng.Intn(5))*13))
@@ -274,7 +290,7 @@ func (g *rvGenerator) prologue() {
 	p.Li(rvIdx, uint64(rng.Intn(256)))
 	p.Li(rvConst, rng.Uint64())
 	p.Li(rvCtr, 0)
-	p.Li(rvAddr, RVBuf0)
+	p.Li(rvAddr, g.buf0)
 	// x3, x4, x8, x9 (gp/tp/s0/s1 in the ABI) get small seeds too: they are
 	// plain registers to the model and legal sources.
 	p.Li(3, uint64(rng.Intn(1<<16)))
@@ -296,16 +312,69 @@ func (g *rvGenerator) epilogue() {
 
 // construct emits one random construct.
 func (g *rvGenerator) construct() {
-	switch g.rng.Intn(16) {
-	case 0:
+	switch g.rng.Intn(32) {
+	case 0, 1:
 		g.forwardBranch()
-	case 1:
+	case 2, 3:
 		g.boundedLoop()
-	case 2:
+	case 4, 5:
 		g.call()
+	case 6:
+		g.smcCross()
+	case 7:
+		if g.peer != 0 {
+			g.peerLoad()
+		} else {
+			g.simpleOp()
+		}
 	default:
 		g.simpleOp()
 	}
+}
+
+// rvAddiWord encodes addi rd, rs1, imm — the patch word smcCross stores
+// over translated code.
+func rvAddiWord(rd, rs1 asm.Reg, imm int32) uint32 {
+	return uint32(imm&0xFFF)<<20 | uint32(rs1)<<15 | uint32(rd)<<7 | 0x13
+}
+
+// smcCross emits a cross-page self-modifying-code sequence: a two-word stub
+// aligned to start exactly at a page boundary, executed once, then patched
+// by an 8-byte store that *straddles* the boundary (its low half rewrites
+// the pad word before the stub, its high half the stub's addi), and executed
+// again. Detecting that write requires SMC tracking on the second page of a
+// crossing store — the case this construct pins across every engine.
+func (g *rvGenerator) smcCross() {
+	p := g.p
+	acc := asm.Reg(rvMinDst + g.rng.Intn(rvMaxDst-rvMinDst+1))
+	k0 := int32(g.rng.Intn(1024))
+	k1 := int32(g.rng.Intn(1024))
+	stub := g.label("smcstub")
+	skip := g.label("smcskip")
+	p.Jal(asm.X0, skip)
+	for p.PC()&0xFFF != 0xFFC {
+		p.Nop()
+	}
+	p.Nop() // the word the crossing store's low half rewrites (with a nop)
+	p.Label(stub)
+	p.Addi(acc, acc, k0)
+	p.Ret()
+	p.Label(skip)
+	p.Jal(asm.RA, stub) // translate and run the stub
+	p.La(rvAddr, stub)
+	p.Addi(rvAddr, rvAddr, -4)
+	p.Li(rvCtr, uint64(rvAddiWord(acc, acc, k1))<<32|uint64(rvNopWord))
+	p.Sd(rvCtr, rvAddr, 0) // page-crossing store over the stub
+	p.Jal(asm.RA, stub)    // must observe k1, not stale code
+}
+
+// peerLoad reads the sibling hart's data buffer: the loaded value depends on
+// how far the sibling has run, so any scheduling divergence between engines
+// surfaces as a register difference (SMP lane only).
+func (g *rvGenerator) peerLoad() {
+	p := g.p
+	p.Li(rvAddr, g.peer+uint64(g.rng.Intn(512))*8)
+	p.Ld(g.dst(), rvAddr, 0)
 }
 
 func (g *rvGenerator) forwardBranch() {

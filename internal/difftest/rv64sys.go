@@ -227,7 +227,7 @@ func GenerateRV64Sys(seed int64, ops int) (*Program, error) {
 	rng := rand.New(rand.NewSource(seed))
 	p := asm.New(RVOrg)
 	g := &rvSysGenerator{
-		rvGenerator: rvGenerator{rng: rng, p: p},
+		rvGenerator: rvGenerator{rng: rng, p: p, buf0: RVBuf0, buf1: RVBuf1, stackTop: RVStackTop},
 		// Half the programs run the body in U-mode (all traps to M); the
 		// other half in S-mode with a random delegable subset sent to the
 		// S handler and a random SUM setting.

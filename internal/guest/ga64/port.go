@@ -90,16 +90,30 @@ func (p *sysPort) Take(ex port.Exception, nzcv uint8, _ *port.Hooks) port.Entry 
 // ERet implements port.Sys (hooks unused, as in Take).
 func (p *sysPort) ERet(_ *port.Hooks) (uint64, uint8) { return p.sys.ERet() }
 
-// PendingIRQ implements port.Sys: the timer line is deliverable when it is
+// raisedSources returns the IRQEN-gated pending-source mask: the timer line
+// at the given level and this hart's software-interrupt (IPI) line from the
+// hooks, each ANDed with its forward-enable bit.
+func (p *sysPort) raisedSources(line bool, h *port.Hooks) uint64 {
+	var src uint64
+	if line {
+		src |= IRQENTimer
+	}
+	if h != nil && h.SoftLine != nil && h.SoftLine() {
+		src |= IRQENSoft
+	}
+	return src & p.sys.IRQEN
+}
+
+// PendingIRQ implements port.Sys: a source line is deliverable when it is
 // forwarded by the IRQEN sliver and PSTATE.I is clear.
-func (p *sysPort) PendingIRQ(line bool, _ *port.Hooks) bool {
-	return line && p.sys.IRQEN&IRQENTimer != 0 && !p.sys.IMask
+func (p *sysPort) PendingIRQ(line bool, h *port.Hooks) bool {
+	return p.raisedSources(line, h) != 0 && !p.sys.IMask
 }
 
 // WFIWake implements port.Sys: wfi wakes on a pending-and-enabled source
 // regardless of PSTATE.I (the architectural wfi wake rule).
-func (p *sysPort) WFIWake(line bool, _ *port.Hooks) bool {
-	return line && p.sys.IRQEN&IRQENTimer != 0
+func (p *sysPort) WFIWake(line bool, h *port.Hooks) bool {
+	return p.raisedSources(line, h) != 0
 }
 
 // TakeIRQ implements port.Sys: asynchronous entry through the IRQ vectors;

@@ -22,15 +22,17 @@ const (
 	SysCNTVCT    = 10 // virtual counter (read-only, simulated cycles)
 	SysSCRATCH0  = 11
 	SysSCRATCH1  = 12
-	SysIRQEN     = 13 // interrupt enable sliver (bit 0: vtimer line enable)
-	SysISR       = 14 // interrupt status (read-only; bit 0: timer pending)
+	SysIRQEN     = 13 // interrupt enable sliver (bit 0: vtimer, bit 1: soft/IPI)
+	SysISR       = 14 // interrupt status (read-only; bit 0: timer, bit 1: soft)
 	SysDAIF      = 15 // interrupt mask (bit 0: the PSTATE.I analog)
-	NumSysRegs   = 16
+	SysMPIDR     = 16 // multiprocessor affinity: this hart's index (read-only)
+	NumSysRegs   = 17
 )
 
 // IRQEN / ISR / DAIF bits of the GIC-shaped interrupt sliver.
 const (
 	IRQENTimer = 1 << 0 // IRQEN: timer line forwarded to the core
+	IRQENSoft  = 1 << 1 // IRQEN: software-interrupt (IPI) line forwarded
 	DAIFI      = 1 << 0 // DAIF: IRQs masked
 )
 
@@ -177,8 +179,17 @@ func (s *Sys) ReadReg(idx uint64, el uint8, h *Hooks) (v uint64, ok bool) {
 		return s.IRQEN, true
 	case SysISR:
 		// Raw pending status, before the PSTATE.I mask (GIC-style).
+		var v uint64
 		if s.IRQEN&IRQENTimer != 0 && h != nil && h.TimerLine != nil && h.TimerLine() {
-			return 1, true
+			v |= IRQENTimer
+		}
+		if s.IRQEN&IRQENSoft != 0 && h != nil && h.SoftLine != nil && h.SoftLine() {
+			v |= IRQENSoft
+		}
+		return v, true
+	case SysMPIDR:
+		if h != nil {
+			return uint64(h.HartID), true
 		}
 		return 0, true
 	case SysDAIF:
@@ -220,10 +231,10 @@ func (s *Sys) WriteReg(idx uint64, v uint64, el uint8, h *Hooks) (ok bool) {
 	case SysSCRATCH1:
 		s.Scratch[1] = v
 	case SysIRQEN:
-		s.IRQEN = v & IRQENTimer
+		s.IRQEN = v & (IRQENTimer | IRQENSoft)
 	case SysDAIF:
 		s.IMask = v&DAIFI != 0
-	case SysCURRENTEL, SysCNTVCT, SysISR:
+	case SysCURRENTEL, SysCNTVCT, SysISR, SysMPIDR:
 		return false
 	default:
 		return false

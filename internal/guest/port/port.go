@@ -72,6 +72,13 @@ type Hooks struct {
 	// (device.Bus.IRQPending under the virtual clock). Nil for user-level
 	// harnesses without a device bus; ports treat nil as line-low.
 	TimerLine func() bool
+	// SoftLine returns the current level of this hart's software-interrupt
+	// (IPI) line (device.Bus.SoftPending for the hart). Nil for harnesses
+	// without an IPI mailbox; ports treat nil as line-low.
+	SoftLine func() bool
+	// HartID is this vCPU's index in the SMP topology (GA64 MPIDR, RV64
+	// mhartid). Zero for uniprocessor machines.
+	HartID int
 }
 
 // ExcKind classifies an engine-raised guest exception. The engines only

@@ -100,15 +100,16 @@ func (p *sysPort) Take(ex port.Exception, _ uint8, h *port.Hooks) port.Entry {
 func (p *sysPort) ERet(h *port.Hooks) (uint64, uint8) { return p.sys.ERet(h), 0 }
 
 // PendingIRQ implements port.Sys: full privileged gating (mip & mie, the
-// mideleg target split, mstatus.MIE/SIE in the target's own mode).
-func (p *sysPort) PendingIRQ(line bool, _ *port.Hooks) bool {
-	_, ok := p.sys.PendingIRQCode(line)
+// mideleg target split, mstatus.MIE/SIE in the target's own mode). The
+// hart's IPI mailbox line from the hooks drives MSIP.
+func (p *sysPort) PendingIRQ(line bool, h *port.Hooks) bool {
+	_, ok := p.sys.PendingIRQCode(line, softLine(h))
 	return ok
 }
 
 // WFIWake implements port.Sys: pending-and-enabled ignoring global masks.
-func (p *sysPort) WFIWake(line bool, _ *port.Hooks) bool {
-	return p.sys.WFIWake(line)
+func (p *sysPort) WFIWake(line bool, h *port.Hooks) bool {
+	return p.sys.WFIWake(line, softLine(h))
 }
 
 // TakeIRQ implements port.Sys (flags are not banked, so nzcv is ignored).

@@ -89,18 +89,20 @@ const (
 // STIP, the usual SBI pattern).
 const (
 	IRQSSoft  = 1 // supervisor software interrupt (SSIP/SSIE)
+	IRQMSoft  = 3 // machine software interrupt (MSIP/MSIE), the IPI line
 	IRQSTimer = 5 // supervisor timer interrupt (STIP/STIE)
 	IRQMTimer = 7 // machine timer interrupt (MTIP/MTIE)
 
 	MipSSIP = 1 << IRQSSoft
+	MipMSIP = 1 << IRQMSoft
 	MipSTIP = 1 << IRQSTimer
 	MipMTIP = 1 << IRQMTimer
 
 	// CauseInterrupt is the interrupt bit of mcause/scause.
 	CauseInterrupt = uint64(1) << 63
 
-	mipWritable = MipSSIP | MipSTIP // MTIP is line-driven, read-only
-	mieWritable = MipSSIP | MipSTIP | MipMTIP
+	mipWritable = MipSSIP | MipSTIP // MTIP and MSIP are line-driven, read-only
+	mieWritable = MipSSIP | MipMSIP | MipSTIP | MipMTIP
 )
 
 // MidelegMask is the WARL mask of delegatable interrupts: the supervisor
@@ -345,30 +347,33 @@ func (s *Sys) Take(ex port.Exception, h *port.Hooks) port.Entry {
 }
 
 // mip composes the architectural mip value: the stored software-set bits
-// plus the line-driven MTIP.
-func (s *Sys) mip(line bool) uint64 {
+// plus the line-driven MTIP (timer) and MSIP (this hart's IPI mailbox line).
+func (s *Sys) mip(line, soft bool) uint64 {
 	v := s.Mip
 	if line {
 		v |= MipMTIP
+	}
+	if soft {
+		v |= MipMSIP
 	}
 	return v
 }
 
 // PendingIRQCode returns the highest-priority interrupt deliverable right
-// now with the timer line at the given level, applying the full privileged
-// gating: per-bit target mode from mideleg, mstatus.MIE for M-targets taken
-// in M, mstatus.SIE for S-targets taken in S (S-targets are never taken in
-// M; targets above the current mode are always deliverable). Priority is
-// MTI, then SSI, then STI within each target, M-targets first — the
-// privileged-spec order restricted to the implemented sources.
-func (s *Sys) PendingIRQCode(line bool) (code uint64, ok bool) {
-	pend := s.mip(line) & s.Mie
+// now with the timer and software lines at the given levels, applying the
+// full privileged gating: per-bit target mode from mideleg, mstatus.MIE for
+// M-targets taken in M, mstatus.SIE for S-targets taken in S (S-targets are
+// never taken in M; targets above the current mode are always deliverable).
+// Priority is MSI, MTI, then SSI, STI within each target, M-targets first —
+// the privileged-spec order restricted to the implemented sources.
+func (s *Sys) PendingIRQCode(line, soft bool) (code uint64, ok bool) {
+	pend := s.mip(line, soft) & s.Mie
 	if pend == 0 {
 		return 0, false
 	}
 	mOK := s.Mode < PrivM || s.Mstatus&MstatusMIE != 0
 	sOK := s.Mode == PrivU || (s.Mode == PrivS && s.Mstatus&MstatusSIE != 0)
-	for _, c := range [...]uint64{IRQMTimer, IRQSSoft, IRQSTimer} {
+	for _, c := range [...]uint64{IRQMSoft, IRQMTimer, IRQSSoft, IRQSTimer} {
 		if pend>>c&1 != 0 && s.Mideleg>>c&1 == 0 && mOK {
 			return c, true
 		}
@@ -381,11 +386,11 @@ func (s *Sys) PendingIRQCode(line bool) (code uint64, ok bool) {
 	return 0, false
 }
 
-// WFIWake reports whether a wfi would resume with the timer line at the
-// given level: any pending-and-enabled interrupt, regardless of the
-// mstatus.MIE/SIE global masks (the architectural wfi wake rule).
-func (s *Sys) WFIWake(line bool) bool {
-	return s.mip(line)&s.Mie != 0
+// WFIWake reports whether a wfi would resume with the timer and software
+// lines at the given levels: any pending-and-enabled interrupt, regardless
+// of the mstatus.MIE/SIE global masks (the architectural wfi wake rule).
+func (s *Sys) WFIWake(line, soft bool) bool {
+	return s.mip(line, soft)&s.Mie != 0
 }
 
 // TakeIRQ performs the architectural interrupt entry for the
@@ -394,7 +399,7 @@ func (s *Sys) WFIWake(line bool) bool {
 // follows mideleg; a target with no vector installed halts, mirroring the
 // synchronous no-vector convention.
 func (s *Sys) TakeIRQ(pc uint64, line bool, h *port.Hooks) port.Entry {
-	code, ok := s.PendingIRQCode(line)
+	code, ok := s.PendingIRQCode(line, softLine(h))
 	if !ok {
 		return port.Entry{PC: pc}
 	}
@@ -476,6 +481,12 @@ func timerLine(h *port.Hooks) bool {
 	return h != nil && h.TimerLine != nil && h.TimerLine()
 }
 
+// softLine evaluates the Hooks software-interrupt line level (line-low
+// without an IPI mailbox).
+func softLine(h *port.Hooks) bool {
+	return h != nil && h.SoftLine != nil && h.SoftLine()
+}
+
 // ReadReg reads a CSR. ok is false for privilege violations and unimplemented
 // CSRs, which the engines turn into illegal-instruction exceptions.
 func (s *Sys) ReadReg(csr uint64, h *port.Hooks) (v uint64, ok bool) {
@@ -494,11 +505,11 @@ func (s *Sys) ReadReg(csr uint64, h *port.Hooks) (v uint64, ok bool) {
 	case CSRMie:
 		return s.Mie, true
 	case CSRMip:
-		return s.mip(timerLine(h)), true
+		return s.mip(timerLine(h), softLine(h)), true
 	case CSRSie:
 		return s.Mie & s.Mideleg, true
 	case CSRSip:
-		return s.mip(timerLine(h)) & s.Mideleg, true
+		return s.mip(timerLine(h), softLine(h)) & s.Mideleg, true
 	case CSRMtvec:
 		return s.Mtvec, true
 	case CSRMscratch:
@@ -510,6 +521,9 @@ func (s *Sys) ReadReg(csr uint64, h *port.Hooks) (v uint64, ok bool) {
 	case CSRMtval:
 		return s.Mtval, true
 	case CSRMhartid:
+		if h != nil {
+			return uint64(h.HartID), true
+		}
 		return 0, true
 	case CSRSstatus:
 		return s.Mstatus & sstatusMask, true

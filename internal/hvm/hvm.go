@@ -39,6 +39,7 @@ type Config struct {
 	GuestRAMBytes  int // guest DRAM size (max 256 MiB, below the MMIO window)
 	CodeCacheBytes int // translated-code cache
 	PTPoolBytes    int // host page-table pool
+	VCPUs          int // guest vCPU count; 0 means 1 (uniprocessor)
 }
 
 // DefaultConfig returns the configuration used by the benchmarks: 64 MiB of
@@ -55,14 +56,45 @@ func DefaultConfig() Config {
 type Layout struct {
 	GuestRAMSize uint64
 	CaptiveBase  uint64
-	StatePA      uint64 // one page of engine state
-	RegFilePA    uint64 // guest register file
-	StackTopPA   uint64 // top of the unikernel stack (grows down)
+	VCPUs        int
+	StatePA      uint64 // one page of engine state (vCPU 0)
+	RegFilePA    uint64 // guest register file (vCPU 0)
+	StackTopPA   uint64 // top of the unikernel stack (vCPU 0, grows down)
 	PTPoolPA     uint64
 	PTPoolSize   uint64
 	CodePA       uint64
 	CodeSize     uint64
 	TotalPhys    uint64
+}
+
+// cpuStride is the per-vCPU slice of the Captive area: state page, register
+// file, stack and (QEMU baseline) softmmu TLB, one slice per vCPU. With one
+// vCPU the layout collapses to the historical uniprocessor map, so every
+// physical address — and therefore the bit-exact cycle model — is unchanged
+// for existing single-core images.
+const cpuStride = 0x140000
+
+// StatePAOf returns the state page of vCPU i.
+func (l *Layout) StatePAOf(i int) uint64 { return l.CaptiveBase + uint64(i)*cpuStride }
+
+// RegFilePAOf returns the guest register file of vCPU i.
+func (l *Layout) RegFilePAOf(i int) uint64 { return l.StatePAOf(i) + 0x1000 }
+
+// StackTopOf returns the unikernel stack top of vCPU i.
+func (l *Layout) StackTopOf(i int) uint64 { return l.StatePAOf(i) + 0x20000 }
+
+// SoftTLBOf returns the QEMU-baseline softmmu TLB base of vCPU i. For a
+// single vCPU this coincides with the page-table pool base (the baseline
+// never walks host page tables), matching the historical layout byte for
+// byte.
+func (l *Layout) SoftTLBOf(i int) uint64 { return l.StatePAOf(i) + 0x100000 }
+
+// PTPoolOf returns the host page-table pool slice of vCPU i: each vCPU
+// builds its own host page tables (its own CR3 roots) in a disjoint,
+// page-aligned slice of the pool.
+func (l *Layout) PTPoolOf(i int) (base, size uint64) {
+	per := l.PTPoolSize / uint64(l.VCPUs) &^ 0xFFF
+	return l.PTPoolPA + uint64(i)*per, per
 }
 
 // State-page slot offsets (from StatePA / R13). The generated code and the
@@ -82,7 +114,8 @@ const (
 // VM is the host virtual machine.
 type VM struct {
 	Phys   vx64.PhysMem
-	CPU    *vx64.CPU
+	CPU    *vx64.CPU   // host CPU of vCPU 0 (uniprocessor shorthand)
+	CPUs   []*vx64.CPU // one host CPU per guest vCPU
 	Bus    *device.Bus
 	Layout Layout
 }
@@ -95,29 +128,48 @@ func New(cfg Config) (*VM, error) {
 	if cfg.CodeCacheBytes < 1<<20 || cfg.PTPoolBytes < 1<<20 {
 		return nil, fmt.Errorf("hvm: code cache and PT pool must be at least 1 MiB")
 	}
+	n := cfg.VCPUs
+	if n <= 0 {
+		n = 1
+	}
+	if n > 8 {
+		return nil, fmt.Errorf("hvm: at most 8 vCPUs, got %d", n)
+	}
 	var l Layout
 	l.GuestRAMSize = uint64(cfg.GuestRAMBytes)
 	l.CaptiveBase = uint64(ga64.DeviceBase) + uint64(ga64.DeviceSize)
 	if l.GuestRAMSize > uint64(ga64.DeviceBase) {
 		return nil, fmt.Errorf("hvm: guest RAM overlaps the MMIO window")
 	}
-	l.StatePA = l.CaptiveBase
-	l.RegFilePA = l.CaptiveBase + 0x1000
-	l.StackTopPA = l.CaptiveBase + 0x20000 // 64 KiB stack below
-	l.PTPoolPA = l.CaptiveBase + 0x100000
+	l.VCPUs = n
+	l.StatePA = l.StatePAOf(0)
+	l.RegFilePA = l.RegFilePAOf(0)
+	l.StackTopPA = l.StackTopOf(0) // 64 KiB stack below
+	if n == 1 {
+		// Historical uniprocessor map: the page-table pool starts right
+		// after the single vCPU's state/stack area, with the baseline's
+		// softmmu TLB overlaying its (never-walked) root pages.
+		l.PTPoolPA = l.CaptiveBase + 0x100000
+	} else {
+		l.PTPoolPA = l.CaptiveBase + uint64(n)*cpuStride
+	}
 	l.PTPoolSize = uint64(cfg.PTPoolBytes)
 	l.CodePA = l.PTPoolPA + l.PTPoolSize
 	l.CodeSize = uint64(cfg.CodeCacheBytes)
 	l.TotalPhys = l.CodePA + l.CodeSize
 
 	phys := make(vx64.PhysMem, l.TotalPhys)
-	cpu := vx64.NewCPU(phys)
-	cpu.DirectBase = DirectBase
-	cpu.EPTEnabled = true // SLAT: identity GPA->HPA mapping (DESIGN.md §7)
-	cpu.SetCodeRegion(l.CodePA, l.CodePA+l.CodeSize)
+	cpus := make([]*vx64.CPU, n)
+	for i := range cpus {
+		cpu := vx64.NewCPU(phys)
+		cpu.DirectBase = DirectBase
+		cpu.EPTEnabled = true // SLAT: identity GPA->HPA mapping (DESIGN.md §7)
+		cpu.SetCodeRegion(l.CodePA, l.CodePA+l.CodeSize)
+		cpus[i] = cpu
+	}
 
-	vm := &VM{Phys: phys, CPU: cpu, Bus: &device.Bus{}, Layout: l}
-	vm.Bus.Cycles = func() uint64 { return cpu.Stats.Cycles / 10 }
+	vm := &VM{Phys: phys, CPU: cpus[0], CPUs: cpus, Bus: &device.Bus{}, Layout: l}
+	vm.Bus.Cycles = func() uint64 { return cpus[0].Stats.Cycles / 10 }
 	return vm, nil
 }
 

@@ -62,6 +62,19 @@ type Machine struct {
 	// the comparable streams (trace.ComparableKinds) match event-for-event.
 	rec *trace.Recorder
 
+	// Waiting is set when the hart is parked in wfi under the cluster's
+	// deterministic scheduler (single machines idle-skip or halt instead).
+	// The PC stays on the wfi instruction, which re-executes on wake.
+	Waiting bool
+
+	// bus is the device bus every access goes through: the machine's own
+	// Bus for a uniprocessor, hart 0's for a cluster member. hartID is this
+	// machine's index in the SMP topology, and cl the owning cluster (nil
+	// for a standalone machine).
+	bus    *device.Bus
+	hartID int
+	cl     *Cluster
+
 	guest   port.Port
 	sys     port.Sys
 	interp  *ssa.Interp
@@ -102,6 +115,7 @@ func New(g port.Port, module *gen.Module, ramBytes int) *Machine {
 		zeroGPR: banks.ZeroGPR,
 		devBase: g.DeviceBase(),
 	}
+	m.bus = &m.Bus
 	m.gprBank = module.Registry.Bank(banks.GPR)
 	m.flagsBank = module.Registry.Bank(banks.Flags)
 	if banks.FP != "" {
@@ -115,18 +129,31 @@ func New(g port.Port, module *gen.Module, ramBytes int) *Machine {
 	// Nothing is cached across accesses (the walker runs fresh every time;
 	// a scanned block never outlives a regime-changing instruction, which
 	// ends its block per the shared rules), so translation changes need no
-	// action here.
+	// action here. The closures read bus/hartID at call time, so cluster
+	// construction can rewire them after New.
 	m.hooks = port.Hooks{
 		CycleCount:         m.virtualTime,
 		TranslationChanged: func() {},
-		TimerLine:          m.Bus.IRQPending,
+		TimerLine:          m.timerLine,
+		SoftLine:           func() bool { return m.bus.SoftPending(m.hartID) },
 	}
 	return m
 }
 
 // virtualTime is the guest-visible virtual counter (see core.VirtualTime:
-// the clock is engine-independent by construction).
-func (m *Machine) virtualTime() uint64 { return m.Instrs + m.idleOff }
+// the clock is engine-independent by construction). Cluster members share
+// one clock: total retired instructions across all harts plus skipped idle
+// time — the same sum the SMP engines keep.
+func (m *Machine) virtualTime() uint64 {
+	if m.cl != nil {
+		return m.cl.virtualTime()
+	}
+	return m.Instrs + m.idleOff
+}
+
+// timerLine is the level of the timer interrupt line as this hart sees it:
+// the timer is wired to hart 0 only, exactly like the engines.
+func (m *Machine) timerLine() bool { return m.hartID == 0 && m.bus.IRQPending() }
 
 // SetTrace attaches a trace recorder (nil detaches). Tracing is pure
 // observation: it never changes what the machine computes or counts.
@@ -214,7 +241,7 @@ func (m *Machine) SetNZCV(v uint8) {
 }
 
 // Console returns the guest's UART output.
-func (m *Machine) Console() string { return m.Bus.Console() }
+func (m *Machine) Console() string { return m.bus.Console() }
 
 // RegState returns a copy of the architectural register file below the PC
 // slot — the engine-independent state differential tests compare.
@@ -321,7 +348,7 @@ func (m *Machine) MemRead(width uint8, va uint64) (uint64, bool) {
 	}
 	if m.guest.IsDevice(pa) {
 		m.rec.Emit(trace.MMIO, mmioArg(width, false), m.virtualTime(), m.curPC, pa)
-		return m.Bus.Read(pa-m.devBase, width), true
+		return m.bus.Read(pa-m.devBase, width), true
 	}
 	if pa+uint64(width) > uint64(len(m.Mem)) {
 		m.raise(port.Exception{Kind: port.ExcDataAbort, Translation: true, Addr: va, PC: m.curPC})
@@ -345,9 +372,18 @@ func (m *Machine) MemWrite(width uint8, va uint64, v uint64) bool {
 	if !ok {
 		return false
 	}
+	// A write crossing a page boundary also needs write permission on the
+	// last byte's page, faulting at the end address (the data itself still
+	// goes physically contiguous from the base, the engines' fast-path
+	// behaviour; reads stay contiguous with no second check).
+	if end := va + uint64(width) - 1; width > 1 && (va^end)>>12 != 0 {
+		if _, ok := m.translate(end, true); !ok {
+			return false
+		}
+	}
 	if m.guest.IsDevice(pa) {
 		m.rec.Emit(trace.MMIO, mmioArg(width, true), m.virtualTime(), m.curPC, pa)
-		m.Bus.Write(pa-m.devBase, width, v)
+		m.bus.Write(pa-m.devBase, width, v)
 		return true
 	}
 	if pa+uint64(width) > uint64(len(m.Mem)) {
@@ -406,15 +442,25 @@ func (m *Machine) Intrinsic(id ssa.IntrID, args []uint64) (uint64, bool) {
 		m.ExitCode = args[0]
 		return 0, false
 	case ssa.IntrWFI:
-		line := m.Bus.IRQPending()
+		line := m.timerLine()
 		if m.sys.WFIWake(line, &m.hooks) {
 			// A source is pending and enabled: wfi completes as a nop
 			// (delivery, if the global mask allows, happens at the next
 			// block boundary).
 			return 0, true
 		}
-		if m.Bus.TimerEnable && m.sys.WFIWake(true, &m.hooks) {
-			if dl := m.Bus.TimerCmpVal; dl > m.virtualTime() {
+		if m.cl != nil {
+			// Cluster hart: park with the PC on the wfi. The scheduler
+			// re-runs the hart when a source goes pending-and-enabled (or
+			// skips the shared clock to the timer deadline), and the wfi
+			// re-executes and completes — the engines' det-mode behaviour.
+			m.Waiting = true
+			m.pending.redirect = true
+			m.pending.pc = m.curPC
+			return 0, false
+		}
+		if m.bus.TimerEnable && m.sys.WFIWake(true, &m.hooks) {
+			if dl := m.bus.TimerCmpVal; dl > m.virtualTime() {
 				// Timer armed and its interrupt enabled: skip virtual
 				// time forward to the deadline instead of spinning.
 				skipped := dl - m.virtualTime()
@@ -471,7 +517,7 @@ func (m *Machine) Step() (bool, error) {
 	if m.blockIdx >= len(m.block) {
 		// Interrupt delivery point: every block entry is a boundary, the
 		// same one the engines' dispatcher and block-entry IRQCHK observe.
-		if line := m.Bus.IRQPending(); m.sys.PendingIRQ(line, &m.hooks) {
+		if line := m.timerLine(); m.sys.PendingIRQ(line, &m.hooks) {
 			m.rec.Emit(trace.IRQ, boolArg(line), m.virtualTime(), m.PC(), 0)
 			m.IRQs++
 			entry := m.sys.TakeIRQ(m.PC(), line, m.NZCV(), &m.hooks)
@@ -533,6 +579,32 @@ func (m *Machine) Run(limit uint64) (uint64, error) {
 		}
 	}
 	return m.Instrs - start, fmt.Errorf("interp: step limit %d exceeded at pc %#x", limit, m.PC())
+}
+
+// RunSlice executes until at least quantum further instructions have
+// retired, or the hart halts or parks in wfi. Slices end exactly at block
+// boundaries: a block entered while the retired count is still below the
+// slice end runs to completion, so the overshoot is identical to the DBT
+// engines' (which test the slice end only in their dispatcher). Steps are
+// charged against the owning cluster's step budget so exception loops
+// through undecodable memory still terminate.
+func (m *Machine) RunSlice(quantum uint64) error {
+	end := m.Instrs + quantum
+	for !m.Halted && !m.Waiting {
+		if m.blockIdx >= len(m.block) && m.Instrs >= end {
+			return nil
+		}
+		if m.cl != nil {
+			if m.cl.steps >= m.cl.stepLimit {
+				return fmt.Errorf("interp: cluster step limit %d exceeded at hart %d pc %#x", m.cl.stepLimit, m.hartID, m.PC())
+			}
+			m.cl.steps++
+		}
+		if _, err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // boolArg and mmioArg encode trace event arguments exactly like the DBT

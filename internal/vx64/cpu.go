@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"captive/internal/softfloat"
 )
@@ -258,6 +259,14 @@ type CPU struct {
 	// copy the (large) Trap struct on the no-trap path.
 	trap Trap
 
+	// Kick is the cross-CPU doorbell: when set (from any goroutine), the
+	// next block-entry IRQCHK traps out to the embedder regardless of its
+	// deadline. The SMP engine uses it to pull a sibling vCPU out of
+	// translated code before mutating shared translation state; the embedder
+	// clears it. Chained and superblocked entries still pass through IRQCHK,
+	// so a kicked CPU reaches its dispatcher at the next block boundary.
+	Kick atomic.Bool
+
 	// Superblock execution state (superblock.go): a direct-mapped cache of
 	// predecoded straight-line runs keyed by code-region offset, and a
 	// per-page generation counter bumped by InvalidateCode so stale
@@ -468,6 +477,18 @@ func (c *CPU) memWrite(va uint64, size uint8, v uint64) *fault {
 	if f != nil {
 		return f
 	}
+	// A write that crosses a page boundary proceeds physically contiguous
+	// from the first byte's frame, but write permission is checked on the
+	// last byte's page too: a misaligned store must not leak into the next
+	// page past its write protection — that is exactly how an SMC store
+	// spilling into a translated-code page used to bypass the engines'
+	// page-protection detection.
+	if end := va + uint64(size) - 1; size > 1 &&
+		(c.DirectBase == 0 || va < c.DirectBase) && (va^end)>>PageShift != 0 {
+		if _, f := c.translate(end, AccessWrite, c.CPL); f != nil {
+			return f
+		}
+	}
 	if pa+uint64(size) > uint64(len(c.Phys)) {
 		return &fault{addr: va, access: AccessWrite, bus: true}
 	}
@@ -664,7 +685,7 @@ func (c *CPU) execOp(inst *Inst, next uint64) bool {
 			c.trap = c.pageFault(f, inst, next)
 			return false
 		}
-		if R[inst.Rs] >= v {
+		if R[inst.Rs] >= v || c.Kick.Load() {
 			c.RIP = next
 			c.trap = Trap{Kind: TrapIRQ, RIP: c.RIP, NextRIP: next}
 			return false
